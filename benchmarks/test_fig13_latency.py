@@ -1,0 +1,20 @@
+"""Benchmark + validation of Fig. 13 (latency per multiply-add)."""
+
+from repro.experiments.fig13 import run
+
+
+class TestFig13:
+    def test_regenerate_fig13(self, benchmark):
+        points = benchmark(run)
+        by_name = {p.architecture: p for p in points}
+        # headline claims: PCS ~1.7x, FCS ~2.5x over the best baseline
+        assert 1.5 <= by_name["pcs-fma"].speedup_vs_best_baseline <= 1.9
+        assert 2.3 <= by_name["fcs-fma"].speedup_vs_best_baseline <= 2.8
+        # latency ordering
+        lat = {n: p.latency_ns for n, p in by_name.items()}
+        assert lat["fcs-fma"] < lat["pcs-fma"] < lat["coregen"] \
+            < lat["flopoco"]
+        # every point within 5 % of the paper-derived value
+        for p in points:
+            assert abs(p.latency_ns - p.paper_latency_ns) \
+                / p.paper_latency_ns < 0.05

@@ -1,0 +1,36 @@
+"""Benchmark + validation of Fig. 14 (chained-FMA accuracy)."""
+
+import pytest
+
+from repro.experiments.fig14 import run
+from repro.fma import (DiscreteMulAddEngine, fcs_engine, pcs_engine,
+                       run_recurrence)
+from repro.fp import BINARY64
+
+
+class TestFig14:
+    def test_regenerate_fig14(self, benchmark):
+        results = benchmark(run, runs=6)
+        err = {r.engine: r.mean_ulp_error for r in results}
+        # the paper's claim: both CS units clearly outperform standard
+        # IEEE double precision
+        assert err["pcs-fma"] < err["discrete-binary64"]
+        assert err["fcs-fma"] < err["discrete-binary64"]
+        # the widened 68b reference beats plain 64b as well
+        assert err["discrete-extended68"] < err["discrete-binary64"]
+        # fused-anything beats discrete 64b on average
+        assert err["classic-fma-binary64"] <= err["discrete-binary64"]
+
+    @pytest.mark.parametrize("make,label", [
+        (lambda: DiscreteMulAddEngine(BINARY64), "discrete64"),
+        (pcs_engine, "pcs"),
+        (fcs_engine, "fcs"),
+    ], ids=["discrete64", "pcs", "fcs"])
+    def test_recurrence_throughput(self, benchmark, fig14_workload,
+                                   make, label):
+        """Cost of one 30-step recurrence (60 FMA evaluations) per
+        engine -- the functional models' simulation speed."""
+        b1, b2, x0 = fig14_workload
+        engine = make()
+        result = benchmark(run_recurrence, engine, b1, b2, x0, 30)
+        assert result.final.is_normal

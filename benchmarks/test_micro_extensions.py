@@ -1,0 +1,85 @@
+"""Microbenchmarks of the extension features (dot products, Booth,
+accumulator, loop unrolling, cycle-accurate execution)."""
+
+import random
+
+import pytest
+
+from repro.fma import FusedDotProductUnit, PcsAccumulator
+from repro.fma.dotprod import kahan_dot, naive_dot
+from repro.cs.booth import booth_multiply
+from repro.fp import FPValue, double
+from repro.hls import (asap_schedule, default_library, execute_schedule,
+                       parse_program)
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = random.Random(0)
+    n = 24
+    a = [FPValue.from_float(rng.uniform(-100, 100)) for _ in range(n)]
+    b = [FPValue.from_float(rng.uniform(-1, 1)) for _ in range(n)]
+    return a, b
+
+
+class TestDotProducts:
+    def test_fused_dot_fcs(self, benchmark, vectors):
+        a, b = vectors
+        unit = FusedDotProductUnit()
+        r = benchmark(unit.dot, a, b)
+        assert r.is_finite
+
+    def test_naive_dot(self, benchmark, vectors):
+        a, b = vectors
+        r = benchmark(naive_dot, a, b)
+        assert r.is_finite
+
+    def test_kahan_dot(self, benchmark, vectors):
+        a, b = vectors
+        r = benchmark(kahan_dot, a, b)
+        assert r.is_finite
+
+
+class TestAccumulator:
+    def test_pcs_mac_accumulate(self, benchmark, vectors):
+        a, b = vectors
+
+        def run():
+            acc = PcsAccumulator(max_exp=64, lsb_exp=-64)
+            for x, y in zip(a, b):
+                acc.accumulate(x, y)
+            return acc.result()
+
+        assert benchmark(run).is_finite
+
+
+class TestBooth:
+    def test_booth_53x110(self, benchmark):
+        rng = random.Random(1)
+        bm = rng.getrandbits(52) | (1 << 52)
+        c = rng.getrandbits(110)
+        r = benchmark(booth_multiply, bm, 53, c, 110)
+        assert r.rows == 28
+
+
+class TestCompilationPipeline:
+    FIR = """
+    acc[0] = 0;
+    for (i = 0; i < 16; i++) {
+        acc[i+1] = acc[i] + h[i]*x[i];
+    }
+    y = acc[16];
+    """
+
+    def test_parse_with_unrolling(self, benchmark):
+        g = benchmark(parse_program, self.FIR, ["y"])
+        assert len(g.outputs()) == 1
+
+    def test_schedule_execution(self, benchmark):
+        lib = default_library()
+        g = parse_program(self.FIR, outputs=["y"])
+        sched = asap_schedule(g, lib)
+        inputs = {f"h[{i}]": 1.0 for i in range(16)}
+        inputs.update({f"x[{i}]": 2.0 for i in range(16)})
+        res = benchmark(execute_schedule, g, sched, lib, inputs)
+        assert res.outputs["y"] == 32.0

@@ -1,0 +1,88 @@
+"""Microbenchmarks of the functional datapath models.
+
+Not a paper table -- these time the simulation building blocks so
+regressions in the bit-accurate models are visible: single FMA
+evaluations, format conversions, the carry-reduce/ZD/LZA primitives.
+"""
+
+import random
+
+import pytest
+
+from repro.cs import (CSNumber, carry_reduce, count_skippable_blocks,
+                      lza_estimate, multiply_mantissa)
+from repro.fma import (FcsFmaUnit, PcsFmaUnit, cs_to_ieee, ieee_to_cs)
+from repro.fp import double, fp_fma
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = random.Random(0)
+    return [(rng.uniform(-100, 100), rng.uniform(-100, 100),
+             rng.uniform(-100, 100)) for _ in range(8)]
+
+
+class TestSingleOperations:
+    def test_classic_fma(self, benchmark, operands):
+        vals = [(double(a), double(b), double(c)) for a, b, c in operands]
+
+        def run():
+            return [fp_fma(a, b, c) for a, b, c in vals]
+
+        out = benchmark(run)
+        assert all(v.is_normal for v in out)
+
+    @pytest.mark.parametrize("unit_cls", [PcsFmaUnit, FcsFmaUnit],
+                             ids=["pcs", "fcs"])
+    def test_cs_fma(self, benchmark, operands, unit_cls):
+        unit = unit_cls()
+        vals = [(ieee_to_cs(double(a), unit.params), double(b),
+                 ieee_to_cs(double(c), unit.params))
+                for a, b, c in operands]
+
+        def run():
+            return [unit.fma(a, b, c) for a, b, c in vals]
+
+        out = benchmark(run)
+        assert all(r.is_normal for r in out)
+
+    def test_conversion_roundtrip(self, benchmark, operands):
+        unit = PcsFmaUnit()
+        vals = [double(a) for a, _b, _c in operands]
+
+        def run():
+            return [cs_to_ieee(ieee_to_cs(v, unit.params)) for v in vals]
+
+        out = benchmark(run)
+        assert [v.to_float() for v in out] == \
+            [v.to_float() for v in vals]
+
+
+class TestPrimitives:
+    def test_carry_reduce_385(self, benchmark):
+        rng = random.Random(1)
+        cs = CSNumber(rng.getrandbits(385), rng.getrandbits(385), 385)
+        out = benchmark(carry_reduce, cs, 11)
+        assert out.value == cs.value
+
+    def test_zero_detect(self, benchmark):
+        rng = random.Random(2)
+        cs = CSNumber(rng.getrandbits(165), rng.getrandbits(165) >> 60,
+                      385)
+        k = benchmark(count_skippable_blocks, cs, 55, 5)
+        assert 0 <= k <= 5
+
+    def test_lza_377(self, benchmark):
+        rng = random.Random(3)
+        a = rng.getrandbits(300)
+        b = rng.getrandbits(300)
+        est = benchmark(lza_estimate, a, b, 377)
+        assert est >= 0
+
+    def test_multiplier_53x110(self, benchmark):
+        rng = random.Random(4)
+        b = rng.getrandbits(52) | (1 << 52)
+        c = rng.getrandbits(110)
+        res = benchmark(multiply_mantissa, b, 53, c, 110,
+                        round_up_c=True)
+        assert res.rows == 54

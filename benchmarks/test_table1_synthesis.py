@@ -1,0 +1,24 @@
+"""Benchmark + validation of Table I (synthesis results)."""
+
+import pytest
+
+from repro.experiments.table1 import PAPER_TABLE1, run
+from repro.hw import VIRTEX6, design_by_name, synthesize
+
+
+class TestTable1:
+    def test_regenerate_table1(self, benchmark):
+        rows = benchmark(run)
+        by_name = {r.architecture: r for r in rows}
+        # cycles and DSPs must be exact; fmax within 5 %
+        for name, (fmax, cycles, _luts, dsps) in PAPER_TABLE1.items():
+            r = by_name[name]
+            assert r.cycles == cycles
+            assert r.dsps == dsps
+            assert abs(r.fmax_mhz - fmax) / fmax < 0.05
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE1))
+    def test_synthesize_one_architecture(self, benchmark, name):
+        design = design_by_name(name, VIRTEX6)
+        report = benchmark(synthesize, design, VIRTEX6)
+        assert report.cycles == PAPER_TABLE1[name][1]

@@ -1,0 +1,17 @@
+"""Benchmark + validation of Table II (energy per operation)."""
+
+from repro.experiments.table2 import PAPER_TABLE2, run
+
+
+class TestTable2:
+    def test_regenerate_table2(self, benchmark):
+        rows = benchmark(run, steps=30)
+        e = {r.architecture: r.energy_nj for r in rows}
+        base = e["coregen"]
+        # the paper's claim: 4x-5x energy increase for the CS units
+        assert 3.5 <= e["pcs-fma"] / base <= 5.5
+        assert 3.0 <= e["fcs-fma"] / base <= 5.0
+        assert e["fcs-fma"] < e["pcs-fma"]
+        # absolute values within 25 % of Table II
+        for name, paper in PAPER_TABLE2.items():
+            assert abs(e[name] - paper) / paper < 0.25

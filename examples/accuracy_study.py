@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Accuracy study: the Fig. 14 experiment, interactively.
+
+Runs the paper's random recurrence x[n] = B1*x[n-1] + B2*x[n-2] + x[n-3]
+through every FMA implementation and prints the error of x[50] against
+both the 75-bit golden reference (the paper's methodology) and the
+exact rational result, plus a text histogram of error distribution.
+"""
+
+import argparse
+
+from repro.experiments import fig14
+from repro.fma import run_recurrence, reference_recurrence
+from repro.fp import mantissa_error_bits
+
+
+def error_histogram(runs: int, seed0: int) -> None:
+    """Per-run wrong-mantissa-bits of the final value, per engine."""
+    engines = fig14.default_engines()
+    print(f"\nPer-run wrong mantissa bits over {runs} runs "
+          "(vs exact rational):")
+    header = "run  " + "".join(f"{e.name[:14]:>16}" for e in engines)
+    print(header)
+    totals = {e.name: 0.0 for e in engines}
+    for r in range(runs):
+        b1, b2, x0 = fig14.make_workload(seed0 + r)
+        exact = reference_recurrence(b1, b2, x0, fig14.STEPS)[-1]
+        row = f"{r:3d}  "
+        for e in engines:
+            v = run_recurrence(e, b1, b2, x0, fig14.STEPS).final
+            bits = (mantissa_error_bits(v.to_fraction(), exact)
+                    if v.is_normal else 52.0)
+            totals[e.name] += bits
+            row += f"{bits:>16.2f}"
+        print(row)
+    print("avg  " + "".join(f"{totals[e.name] / runs:>16.2f}"
+                            for e in engines))
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--runs", type=int, default=20,
+                    help="number of random recurrences (paper used 20)")
+    ap.add_argument("--seed", type=int, default=0)
+    args = ap.parse_args()
+
+    results = fig14.run(runs=args.runs, seed0=args.seed)
+    print(fig14.format_table(results))
+    error_histogram(min(args.runs, 10), args.seed)
+
+    print("\nReading the numbers: the discrete 64b datapath accumulates "
+          "one extra rounding per multiply-add;\nthe fused and "
+          "carry-save chains avoid it, and the 110/87-digit operand "
+          "formats of the\nP/FCS units carry ~2x double precision "
+          "between operations (Sec. III-D/III-H).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Signal processing on the carry-save datapath: an FIR filter.
+
+The paper opens with "many signal processing and control engineering
+applications have large numbers of floating-point multiply-add
+operations at their core" (Sec. I).  An FIR filter is the canonical
+instance: every output sample is a dot product of the taps with a
+window of the input.
+
+This example exercises two ways to build it:
+
+1. **Through the HLS flow** -- write the tap loop in the C-like
+   frontend, let the loop unroller and the Fig. 12 pass turn it into a
+   chain of FCS-FMA units, then simulate the compiled datapath.
+2. **Through the fused dot-product engine** -- the Sec. V extension that
+   keeps the accumulator in carry-save format.
+
+Both are compared against naive binary64 accumulation on an
+ill-conditioned input (large DC offset on a small signal).
+"""
+
+import argparse
+import math
+import random
+
+from repro.fma import (FusedDotProductUnit, exact_dot, fcs_engine,
+                       naive_dot)
+from repro.fp import FPValue
+from repro.hls import (OpKind, default_library, parse_program,
+                       run_fma_insertion, simulate)
+
+
+def fir_source(taps: int) -> str:
+    return f"""
+    acc[0] = 0;
+    for (i = 0; i < {taps}; i++) {{
+        acc[i+1] = acc[i] + h[i]*x[i];
+    }}
+    y = acc[{taps}];
+    """
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--taps", type=int, default=16)
+    ap.add_argument("--samples", type=int, default=8)
+    args = ap.parse_args()
+
+    rng = random.Random(0)
+    # a low-pass-ish tap set and a nasty input: tiny signal on a huge DC
+    taps = [math.sin((k + 1) / args.taps) / args.taps
+            for k in range(args.taps)]
+    signal = [1e12 * (-1) ** k + math.sin(k / 3.0)
+              for k in range(args.samples + args.taps)]
+
+    print(f"FIR: {args.taps} taps, {args.samples} output samples")
+    print("Compiling the tap loop through the HLS flow...")
+    g = parse_program(fir_source(args.taps), outputs=["y"])
+    lib = default_library(fma_flavor="fcs")
+    rep = run_fma_insertion(g, lib)
+    print(f"  {g.op_count(OpKind.FMA)} FCS-FMAs, schedule "
+          f"{rep.baseline_length} -> {rep.final_length} cycles "
+          f"({rep.reduction_percent:.1f}% shorter)\n")
+
+    fused = FusedDotProductUnit()
+    print(" n |      naive binary64      |  HLS datapath (FCS)      |"
+          "  fused dot |  exact")
+    for n in range(args.samples):
+        window = signal[n:n + args.taps]
+        a = [FPValue.from_float(v) for v in taps]
+        b = [FPValue.from_float(v) for v in window]
+        exact = float(exact_dot(a, b))
+        naive = naive_dot(a, b).to_float()
+        inputs = {f"h[{i}]": taps[i] for i in range(args.taps)}
+        inputs.update({f"x[{i}]": window[i] for i in range(args.taps)})
+        hls = simulate(g, inputs, engine=fcs_engine())["y"]
+        fd = fused.dot(a, b).to_float()
+        print(f"{n:2d} | {naive:+.18e} | {hls:+.18e} | "
+              f"err {abs(fd - exact):.1e} | {exact:+.6e}")
+
+    _ = rng  # reserved for future noisy variants
+
+
+if __name__ == "__main__":
+    main()

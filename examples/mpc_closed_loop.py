@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Closed-loop model-predictive control with the generated solver.
+
+The paper motivates its FMA units with "systems relying on
+model-based/model-predictive control rules" (Sec. I): a convex solver
+runs inside the control loop, re-planning the trajectory at every tick.
+This example closes that loop with :class:`repro.solvers.MPCController`:
+a planar vehicle drives through an obstacle field, re-solving its
+trajectory-planning QP each step (same fixed-structure `ldlsolve()`
+kernel every time) and applying only the first control input.
+
+Run with ``--hardware`` to execute every KKT solve on the bit-accurate
+FCS-FMA datapath models (slower; demonstrates that the carry-save
+arithmetic closes the control loop identically).
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.fma import fcs_engine
+from repro.solvers import MPCController
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--horizon", type=int, default=4)
+    ap.add_argument("--ticks", type=int, default=6)
+    ap.add_argument("--hardware", action="store_true",
+                    help="run every ldlsolve() on the FCS-FMA models")
+    args = ap.parse_args()
+
+    engine = fcs_engine() if args.hardware else None
+    ctl = MPCController(horizon=args.horizon, n_obstacles=1,
+                        engine=engine)
+    if ctl.pass_report is not None:
+        rep = ctl.pass_report
+        print(f"Compiled ldlsolve(): {rep.fma_inserted} FCS-FMAs, "
+              f"schedule {rep.baseline_length} -> {rep.final_length} "
+              f"cycles ({rep.reduction_percent:.1f}% shorter)")
+
+    x = np.array([0.0, 0.0, 1.0, 0.0])
+    print(f"MPC loop: horizon {args.horizon}, {args.ticks} ticks, "
+          f"{'FCS-FMA hardware numerics' if args.hardware else 'double'}"
+          " arithmetic\n")
+    print(" tick    px      py      vx      vy    |u|     solve")
+
+    total = 0.0
+    for tick in range(args.ticks):
+        t0 = time.time()
+        step = ctl.plan(x)
+        dt_solve = time.time() - t0
+        total += dt_solve
+        x = ctl.step_dynamics(x, step.control)
+        status = "ok" if step.converged else "MAXIT"
+        print(f"  {tick:3d} {x[0]:7.3f} {x[1]:7.3f} {x[2]:7.3f} "
+              f"{x[3]:7.3f} {np.linalg.norm(step.control):6.2f}  "
+              f"{dt_solve * 1000:7.1f}ms {status}")
+
+    print(f"\nTotal solver time: {total:.2f}s "
+          f"({total / args.ticks * 1000:.1f} ms/tick)")
+    print("Each tick re-solved the same fixed-sparsity KKT system -- "
+          "the workload the\npaper's ldlsolve() hardware accelerates "
+          "(Fig. 15).")
+
+
+if __name__ == "__main__":
+    main()

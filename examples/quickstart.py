@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: the carry-save FMA units in five minutes.
+
+Runs a single fused multiply-add through every implementation, shows
+the operand formats, and demonstrates a chained computation where the
+carry-save units keep full precision between operations.
+"""
+
+from fractions import Fraction
+
+from repro import quick_fma
+from repro.fma import (FCS_PARAMS, PCS_PARAMS, FcsFmaUnit, PcsFmaUnit,
+                       cs_to_ieee, fcs_engine, ieee_to_cs, pcs_engine)
+from repro.fp import double, exact_fma_fraction
+
+
+def main() -> None:
+    a, b, c = 1.5, 0.1, 12.25
+
+    print("== one FMA, three architectures ==")
+    exact = exact_fma_fraction(double(a), double(b), double(c))
+    print(f"  a + b*c = {a} + {b}*{c}")
+    print(f"  exact            : {float(exact):.17g}")
+    for unit in ("classic", "pcs", "fcs"):
+        print(f"  {unit:8s}         : {quick_fma(a, b, c, unit=unit):.17g}")
+
+    print("\n== the operand formats (Fig. 8 / Sec. III-H) ==")
+    for params in (PCS_PARAMS, FCS_PARAMS):
+        print(f"  {params.name.upper()}: {params.mant_width} mantissa "
+              f"digits in {params.mant_blocks} x {params.block} blocks, "
+              f"{params.mant_carry_bits} carry bits, "
+              f"{params.block}+{params.round_carry_bits} rounding data, "
+              f"{params.exp_bits}b exponent -> "
+              f"{params.operand_bits}-bit operands")
+    x = ieee_to_cs(double(3.141592653589793), PCS_PARAMS)
+    print(f"  pi as a PCS operand: mantissa={x.mant_signed()}, "
+          f"exponent={x.exp} (excess-2047 field {x.biased_exponent})")
+    print(f"  ...and back: {cs_to_ieee(x).to_float()!r}")
+
+    print("\n== chained FMAs: values stay in carry-save format ==")
+    # y = ((x0 + b1*x1) + b2*x2) + b3*x3 with no intermediate rounding
+    coeffs = [0.1, 0.2, 0.3]
+    xs = [1.0, 1e-17, -1.0, 3.0]
+    for make in (pcs_engine, fcs_engine):
+        eng = make()
+        acc = eng.lift(double(xs[0]))
+        for bk, xk in zip(coeffs, xs[1:]):
+            acc = eng.fma(acc, double(bk), eng.lift(double(xk)))
+        got = eng.lower(acc).to_float()
+        exact = Fraction(xs[0])
+        for bk, xk in zip(coeffs, xs[1:]):
+            exact += Fraction(bk) * Fraction(xk)
+        print(f"  {eng.name:8s}: {got:.17g}   "
+              f"(exact {float(exact):.17g})")
+
+    print("\n== the units are bit-accurate datapath models ==")
+    for unit in (PcsFmaUnit(), FcsFmaUnit()):
+        r = unit.fma(ieee_to_cs(double(a), unit.params), double(b),
+                     ieee_to_cs(double(c), unit.params))
+        print(f"  {unit.name}: result mantissa CS pair sum={r.mant.sum:x}"
+              f" carry={r.mant.carry:x}, round data "
+              f"{r.round_data.sum:x}/{r.round_data.carry:x}")
+
+
+if __name__ == "__main__":
+    main()

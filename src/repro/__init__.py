@@ -1,0 +1,57 @@
+"""repro -- reproduction of *Architecture Exploration of High-Performance
+Floating-Point Fused Multiply-Add Units and their Automatic Use in
+High-Level Synthesis* (Liebig, Huthmann, Koch; 2013).
+
+The package is organized bottom-up, mirroring the paper:
+
+* :mod:`repro.fp` -- IEEE-754 substrate: formats, bit-accurate values,
+  rounding, discrete (CoreGen-like) operators, exact oracle.
+* :mod:`repro.cs` -- carry-save arithmetic: CS numbers, compressor trees,
+  chunked carry reduction, the Fig. 6 multiplier, LZA, the Fig. 10 block
+  Zero Detector.
+* :mod:`repro.fma` -- the contribution: classic-FMA baseline, PCS-FMA and
+  FCS-FMA units, operand formats and converters, chain engines.
+* :mod:`repro.hw` -- FPGA technology model: delays, areas, pipelining,
+  energy; regenerates the synthesis-style numbers of Table I/II, Fig. 13.
+* :mod:`repro.hls` -- Nymble-like HLS core: CDFG IR, frontend, scheduler,
+  and the Fig. 12 FMA-insertion pass.
+* :mod:`repro.solvers` -- CVXGEN-like convex-solver substrate: trajectory
+  QPs, KKT assembly, symbolic LDL and `ldlsolve` code generation.
+* :mod:`repro.experiments` -- one module per paper table/figure.
+
+Quick start::
+
+    from repro import quick_fma
+    print(quick_fma(1.5, 2.0, 3.25))   # 1.5 + 2.0 * 3.25 via PCS-FMA
+"""
+
+from .fma import (FcsFmaUnit, PcsFmaUnit, cs_to_ieee, fcs_engine,
+                  ieee_to_cs, pcs_engine)
+from .fp import BINARY64, FPValue, double
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "FPValue", "BINARY64", "double",
+    "PcsFmaUnit", "FcsFmaUnit", "ieee_to_cs", "cs_to_ieee",
+    "pcs_engine", "fcs_engine",
+    "quick_fma",
+]
+
+
+def quick_fma(a: float, b: float, c: float, *, unit: str = "pcs") -> float:
+    """Compute ``a + b * c`` through one of the paper's FMA units.
+
+    Convenience entry point: lifts the Python floats into the carry-save
+    operand format, runs the unit, and lowers the result back to a float.
+    ``unit`` is ``"pcs"``, ``"fcs"`` or ``"classic"``.
+    """
+    from .fma import ClassicFmaUnit
+
+    fa, fb, fc = double(a), double(b), double(c)
+    if unit == "classic":
+        return ClassicFmaUnit().fma(fa, fb, fc).to_float()
+    u = PcsFmaUnit() if unit == "pcs" else FcsFmaUnit()
+    r = u.fma(ieee_to_cs(fa, u.params), fb, ieee_to_cs(fc, u.params))
+    return cs_to_ieee(r).to_float()

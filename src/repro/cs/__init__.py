@@ -1,0 +1,34 @@
+"""Carry-save arithmetic substrate.
+
+Implements the number representation the paper's FMA units are built on:
+CS digits in {0,1,2} (:mod:`~repro.cs.csnumber`), 3:2 compressor trees
+(:mod:`~repro.cs.csa`), chunked carry reduction and the DSP pre-adder
+model (:mod:`~repro.cs.adders`), the Fig. 6 multiplier with integrated
+rounding (:mod:`~repro.cs.multiplier`), leading-zero anticipation
+(:mod:`~repro.cs.lza`) and the Fig. 10 block Zero Detector
+(:mod:`~repro.cs.zero_detect`).
+"""
+
+from .booth import (BoothComparison, booth_digits, booth_multiply,
+                    booth_row_count, compare_tree_heights)
+from .adders import (carry_reduce, chunked_add, cs_to_binary, cs_to_signed,
+                     pre_adder_combine)
+from .csa import CSAReduction, csa3, csa4, csa_tree_depth, reduce_rows
+from .csnumber import FULL_CARRY, NO_CARRY, CSNumber, pcs_carry_mask
+from .lza import count_leading_zeros, leading_sign_bits, lza_estimate
+from .multiplier import MultiplierResult, multiply_mantissa
+from .zero_detect import (BlockKind, block_digits, classify_block,
+                          count_skippable_blocks, skip_preserves_value)
+
+__all__ = [
+    "CSNumber", "pcs_carry_mask", "FULL_CARRY", "NO_CARRY",
+    "csa3", "csa4", "csa_tree_depth", "reduce_rows", "CSAReduction",
+    "carry_reduce", "chunked_add", "cs_to_binary", "cs_to_signed",
+    "pre_adder_combine",
+    "MultiplierResult", "multiply_mantissa",
+    "booth_digits", "booth_multiply", "booth_row_count",
+    "BoothComparison", "compare_tree_heights",
+    "lza_estimate", "leading_sign_bits", "count_leading_zeros",
+    "BlockKind", "classify_block", "block_digits",
+    "count_skippable_blocks", "skip_preserves_value",
+]

@@ -1,0 +1,115 @@
+"""Chunked adders: carry reduction and CS-to-binary conversion.
+
+Two datapath steps of the paper live here:
+
+* **Carry Reduce** (Fig. 9, Sec. III-E): a row of independent ``chunk``-bit
+  adders turns an arbitrary carry-save pair into *partial* carry save with
+  one explicit carry bit per chunk boundary.  With 11-bit chunks this
+  reduces a 385b sum + 384b of carries to 385b + 35 carry bits while
+  costing only an 11-bit adder delay (1.742 ns on the paper's Virtex-6).
+
+* **Full conversion to plain binary** -- the expensive operation the CS
+  formats exist to avoid; it is still needed at the CS -> IEEE boundary
+  converters inserted by the HLS pass and inside the classic FMA baseline
+  (its 161b adder).
+"""
+
+from __future__ import annotations
+
+from .csnumber import CSNumber, pcs_carry_mask
+
+__all__ = [
+    "carry_reduce",
+    "cs_to_binary",
+    "cs_to_signed",
+    "chunked_add",
+    "pre_adder_combine",
+]
+
+
+def carry_reduce(cs: CSNumber, chunk: int) -> CSNumber:
+    """Reduce a carry-save pair to PCS with one carry per ``chunk`` bits.
+
+    Every chunk ``[k*chunk, (k+1)*chunk)`` is summed independently
+    (sum bits + carry bits within the chunk); the chunk's carry-out (at
+    most 1, since each input word contributes < 2^chunk) is emitted at the
+    next chunk boundary.  The numeric value is preserved except that a
+    carry out of the topmost boundary beyond ``width+1`` would be lost --
+    callers size the guard bit so this cannot happen for in-range data.
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    width = cs.width
+    chunk_mask = (1 << chunk) - 1
+    new_sum = 0
+    new_carry = 0
+    pos = 0
+    while pos < width:
+        w = min(chunk, width - pos)
+        local_mask = (1 << w) - 1
+        local = ((cs.sum >> pos) & local_mask) + ((cs.carry >> pos)
+                                                  & local_mask)
+        new_sum |= (local & local_mask) << pos
+        cout = local >> w
+        if cout:
+            boundary = pos + w
+            if boundary > width:
+                raise OverflowError("carry out beyond guard position")
+            new_carry |= 1 << boundary
+        pos += w
+    # include any pre-existing guard carry at position == width
+    guard = (cs.carry >> width) & 1
+    if guard:
+        if (new_carry >> width) & 1:
+            raise OverflowError("guard carry collision during reduction")
+        new_carry |= 1 << width
+    _ = chunk_mask  # (chunk_mask kept for symmetry/documentation)
+    return CSNumber(new_sum, new_carry, width,
+                    pcs_carry_mask(width, chunk) |
+                    (1 << width))
+
+
+def cs_to_binary(cs: CSNumber) -> int:
+    """Full carry-propagating addition of the CS pair (unsigned).
+
+    This is the slow, wide adder the CS representation defers; the result
+    may use one bit more than ``cs.width``.
+    """
+    return cs.sum + cs.carry
+
+
+def cs_to_signed(cs: CSNumber) -> int:
+    """Collapse to the two's-complement value over ``cs.width`` bits
+    (modular addition, top carry-out discarded as in hardware)."""
+    return cs.signed_value()
+
+
+def chunked_add(a: int, b: int, width: int, chunk: int,
+                ) -> tuple[int, int]:
+    """Add two binary words with *independent* chunk adders.
+
+    Returns ``(sum_word, carry_word)`` where carries appear only at chunk
+    boundaries -- the primitive underlying :func:`carry_reduce`, exposed
+    separately because the delay model prices it as a single short adder.
+    """
+    cs = CSNumber(a & ((1 << width) - 1), b & ((1 << width) - 1), width)
+    out = carry_reduce(cs, chunk)
+    return out.sum, out.carry
+
+
+def pre_adder_combine(cs: CSNumber, chunk: int) -> int:
+    """Model of the DSP48E1 *pre-adder* use in the FCS-FMA (Sec. III-H).
+
+    The Virtex-6/7 DSP blocks provide a 25-bit pre-adder on one multiplier
+    input; the FCS unit feeds each ``chunk``-digit block's sum and carry
+    words through it, converting the block to plain binary *inside* the
+    DSP, "without the risk of a sign-changing overflow".  Functionally the
+    combined value is just ``sum + carry`` over the block, with the
+    block's carry-out absorbed by the next block's pre-adder headroom.
+
+    Returns the plain-binary value of the full number (the per-block
+    carry-outs ripple exactly as the wider pre-adder width absorbs them).
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    return cs.sum + cs.carry

@@ -1,0 +1,124 @@
+"""Radix-4 Booth recoding for the partial-product generators.
+
+The paper's multiplier argument (Sec. III-D) is that "the height of its
+CSA tree depends on the number of inputs", i.e. on the number of
+partial-product rows.  Booth recoding is the classic lever on that
+number: radix-4 recoding turns the ``w`` rows of a simple bit-per-row
+multiplier into ``ceil(w/2) + 1`` rows of signed multiples
+{0, ±C, ±2C}, halving the tree height's input count at the cost of a
+row-selection mux per row.
+
+This module provides the recoder and a Booth-based drop-in for
+:func:`repro.cs.multiplier.multiply_mantissa`, used by the multiplier
+ablation study -- it is *not* wired into the default units (the paper's
+DSP-based multipliers do their recoding inside the DSP blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .csa import CSAReduction, csa_tree_depth, reduce_rows
+from .csnumber import CSNumber
+from .multiplier import MultiplierResult
+
+__all__ = ["booth_digits", "booth_rows", "booth_multiply",
+           "booth_row_count"]
+
+
+def booth_digits(b: int, width: int) -> list[int]:
+    """Radix-4 Booth recode an unsigned multiplier into digits in
+    {-2, -1, 0, 1, 2}, least significant first.
+
+    Digit ``k`` weighs ``4^k``; the recoded digit string sums exactly to
+    ``b``.
+    """
+    if not (0 <= b < (1 << width)):
+        raise ValueError("b out of range")
+    digits: list[int] = []
+    # pad with the implicit 0 below the LSB; scan overlapping triplets
+    extended = b << 1
+    n_digits = (width + 2) // 2
+    for k in range(n_digits + 1):
+        triplet = (extended >> (2 * k)) & 0b111
+        digit = {0b000: 0, 0b001: 1, 0b010: 1, 0b011: 2,
+                 0b100: -2, 0b101: -1, 0b110: -1, 0b111: 0}[triplet]
+        digits.append(digit)
+    # trim redundant trailing zeros (keep at least one digit)
+    while len(digits) > 1 and digits[-1] == 0:
+        digits.pop()
+    return digits
+
+
+def booth_row_count(width: int) -> int:
+    """Partial-product rows after radix-4 recoding (incl. the sign
+    correction row): about half of the simple multiplier's ``width``."""
+    return (width + 2) // 2 + 1
+
+
+def booth_rows(b: int, b_width: int, c_tc: int, c_width: int,
+               out_width: int) -> list[int]:
+    """Generate the recoded partial-product rows of ``b * C`` with ``C``
+    a two's-complement word; each row is a wrapped two's-complement
+    encoding of ``digit * C * 4^k``."""
+    mask = (1 << out_width) - 1
+    c_signed = c_tc - (1 << c_width) if (c_tc >> (c_width - 1)) else c_tc
+    rows = []
+    for k, digit in enumerate(booth_digits(b, b_width)):
+        if digit == 0:
+            continue
+        rows.append((digit * c_signed << (2 * k)) & mask)
+    return rows or [0]
+
+
+def booth_multiply(b_mant: int, b_width: int, c_tc: int, c_width: int,
+                   *, negate: bool = False, round_up_c: bool = False,
+                   out_width: int | None = None) -> MultiplierResult:
+    """Booth-recoded twin of :func:`repro.cs.multiplier.multiply_mantissa`
+    (same contract, fewer CSA rows)."""
+    if not (0 <= b_mant < (1 << b_width)):
+        raise ValueError("b_mant out of range for b_width")
+    if not (0 <= c_tc < (1 << c_width)):
+        raise ValueError("c_tc must be a wrapped two's-complement word")
+    w = out_width if out_width is not None else b_width + c_width
+    mask = (1 << w) - 1
+
+    c_signed = c_tc - (1 << c_width) if (c_tc >> (c_width - 1)) else c_tc
+    if round_up_c:
+        c_signed += 1
+    if negate:
+        c_signed = -c_signed
+    c_eff = c_signed & mask
+    # rows from the (possibly corrected/negated) multiplicand
+    rows = booth_rows(b_mant, b_width, c_eff, w, w)
+    n_rows = booth_row_count(b_width)
+    red: CSAReduction = reduce_rows(rows, width=w)
+    product = CSNumber(red.sum & mask, red.carry & mask, w)
+    return MultiplierResult(product, n_rows, red.depth, red.compressors)
+
+
+@dataclass(frozen=True)
+class BoothComparison:
+    """Tree statistics of the simple vs Booth-recoded multiplier."""
+
+    b_width: int
+    simple_rows: int
+    booth_rows: int
+    simple_depth: int
+    booth_depth: int
+
+    @property
+    def levels_saved(self) -> int:
+        return self.simple_depth - self.booth_depth
+
+
+def compare_tree_heights(b_width: int) -> BoothComparison:
+    """The Sec. III-D tree-height comparison for a given B width."""
+    simple = b_width
+    booth = booth_row_count(b_width)
+    return BoothComparison(b_width, simple, booth,
+                           csa_tree_depth(simple), csa_tree_depth(booth))
+
+
+__all__.append("BoothComparison")
+__all__.append("compare_tree_heights")

@@ -1,0 +1,117 @@
+"""Carry-save adders and reduction trees.
+
+A 3:2 compressor (full-adder row) takes three bit words and produces a
+(sum, carry) pair of equal value; chaining compressors gives the classic
+Wallace/Dadda-style CSA tree used inside every multiplier in the paper
+(Fig. 4/6/9/11: "CSA tree").  Besides the functional reduction, this
+module reports the *tree depth* (number of 3:2 levels), which feeds the
+delay model of :mod:`repro.hw.delay` -- the paper's key observation that
+"the height of its CSA tree depends on the number of inputs" (Sec. III-D)
+is what makes the widened PCS multiplier latency-neutral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "csa3",
+    "csa4",
+    "reduce_rows",
+    "csa_tree_depth",
+    "CSAReduction",
+]
+
+
+def csa3(x: int, y: int, z: int) -> tuple[int, int]:
+    """3:2 compress three non-negative bit words into (sum, carry).
+
+    ``sum + carry == x + y + z`` exactly; the carry word is shifted left
+    by one because a full adder's carry-out has double weight.
+    """
+    s = x ^ y ^ z
+    c = ((x & y) | (x & z) | (y & z)) << 1
+    return s, c
+
+
+def csa4(w: int, x: int, y: int, z: int) -> tuple[int, int]:
+    """4:2 compress (two chained 3:2 rows; value-preserving).
+
+    Modern FPGA slices realize this in one LUT level plus the dedicated
+    carry chain; the delay model accounts for it separately.
+    """
+    s1, c1 = csa3(w, x, y)
+    return csa3(s1, c1, z)
+
+
+def csa_tree_depth(rows: int) -> int:
+    """Number of 3:2 compressor levels needed to reduce ``rows`` partial
+    products to 2 (the standard Wallace-tree recurrence).
+
+    ``rows <= 2`` needs no level.  Each level turns ``n`` rows into
+    ``2*floor(n/3) + (n mod 3)``.
+    """
+    if rows < 0:
+        raise ValueError("row count must be non-negative")
+    depth = 0
+    n = rows
+    while n > 2:
+        n = 2 * (n // 3) + (n % 3)
+        depth += 1
+    return depth
+
+
+@dataclass(frozen=True)
+class CSAReduction:
+    """Result of reducing a list of rows: a CS pair plus tree statistics."""
+
+    sum: int
+    carry: int
+    depth: int
+    compressors: int
+
+    @property
+    def value(self) -> int:
+        return self.sum + self.carry
+
+
+def reduce_rows(rows: list[int], width: int | None = None) -> CSAReduction:
+    """Reduce partial-product rows to carry-save form with a Wallace tree.
+
+    Parameters
+    ----------
+    rows:
+        Non-negative bit words (already weighted/shifted by the caller).
+    width:
+        Optional modulus width: when given, every compressor output is
+        truncated to ``width`` bits (two's-complement wrap, as the
+        fixed-width hardware rows would).
+
+    Returns the final (sum, carry) pair, the tree depth in 3:2 levels and
+    the total number of compressor rows instantiated (an area proxy).
+    """
+    mask = (1 << width) - 1 if width is not None else None
+    work = [r & mask if mask is not None else r for r in rows]
+    if any(r < 0 for r in rows):
+        raise ValueError("rows must be non-negative bit words; apply "
+                         "two's-complement encoding before reduction")
+    depth = 0
+    compressors = 0
+    while len(work) > 2:
+        nxt: list[int] = []
+        for i in range(0, len(work) - 2, 3):
+            s, c = csa3(work[i], work[i + 1], work[i + 2])
+            if mask is not None:
+                s &= mask
+                c &= mask
+            nxt.append(s)
+            nxt.append(c)
+            compressors += 1
+        rem = len(work) % 3
+        if rem:
+            nxt.extend(work[-rem:])
+        work = nxt
+        depth += 1
+    s = work[0] if work else 0
+    c = work[1] if len(work) > 1 else 0
+    return CSAReduction(s, c, depth, compressors)

@@ -1,0 +1,107 @@
+"""Leading-zero/leading-sign anticipation (Schmookler & Nowka style).
+
+The classic FMA baseline uses an LZA to compute the normalization shift
+distance *in parallel* with the wide addition (Sec. III-A, [23]); the
+FCS-FMA reuses the idea at block granularity (Sec. III-G), accepting the
+well-known one-bit uncertainty of the anticipator.
+
+``lza_estimate`` inspects only the two addends (never the sum) and
+returns a *lower bound* on the number of redundant leading sign bits of
+the two's-complement sum; the true count exceeds the estimate by at most
+one -- the property every user of this module (and the property-based
+test-suite) relies on.
+"""
+
+from __future__ import annotations
+
+__all__ = ["lza_estimate", "leading_sign_bits", "count_leading_zeros"]
+
+
+def count_leading_zeros(word: int, width: int) -> int:
+    """Leading zero bits of an unsigned ``width``-bit word."""
+    if word < 0 or word >> width:
+        raise ValueError("word out of range")
+    if word == 0:
+        return width
+    return width - word.bit_length()
+
+
+def leading_sign_bits(value: int, width: int) -> int:
+    """Redundant leading sign bits of a two's-complement value.
+
+    For a non-negative value this is the number of leading zeros; for a
+    negative one the number of leading ones *minus one is not applied* --
+    we count every copy of the sign bit beyond the first significant
+    position, i.e. how far the value could be left-normalized without
+    changing it.  ``0`` and ``-1`` yield ``width`` (maximally redundant).
+    """
+    v = value & ((1 << width) - 1)
+    if v >> (width - 1):  # negative: count leading ones
+        inv = (~v) & ((1 << width) - 1)
+        if inv == 0:
+            return width  # value == -1
+        return width - inv.bit_length()
+    if v == 0:
+        return width
+    return width - v.bit_length()
+
+
+def lza_estimate(a: int, b: int, width: int) -> int:
+    """Anticipate leading sign bits of ``a + b`` without adding.
+
+    Parameters
+    ----------
+    a, b:
+        Two's-complement encoded non-negative words of ``width`` bits.
+    width:
+        Operand width.
+
+    Precondition (guard-bit discipline): the signed sum ``a + b`` must be
+    representable in ``width`` bits -- FMA adder windows are sized with
+    guard bits so the addition can never overflow, and the anticipation
+    guarantee only holds under that contract.
+
+    Returns a lower bound ``est`` such that
+    ``est <= leading_sign_bits((a + b) mod 2^width, width) <= est + 1``
+    (the classic one-bit anticipation error, Sec. III-G: "Most LZA units
+    are inexact and have an error of up to one bit position").
+
+    Implementation: the propagate/generate/kill indicator string of
+    Schmookler & Nowka.  With ``t = a ^ b``, ``g = a & b``,
+    ``z = ~(a | b)``, position ``i`` is flagged significant when the
+    pattern around it breaks the leading-sign run::
+
+        f_i = t_{i+1} & (g_i & ~z_{i-1} | z_i & ~g_{i-1})
+            | ~t_{i+1} & (z_i & ~z_{i-1} | g_i & ~g_{i-1})
+
+    (boundary convention: z_{-1} = 1, g_{-1} = 0, t_width = 0).  The most
+    significant set bit of ``f`` marks the leading-one position of the
+    sum's magnitude, or one position above it.
+    """
+    mask = (1 << width) - 1
+    a &= mask
+    b &= mask
+    t = a ^ b
+    g = a & b
+    z = (~(a | b)) & mask
+
+    # shifted neighbours with the documented boundary conventions
+    t_up = t >> 1                    # t_{i+1}; t_width = 0
+    z_dn = ((z << 1) | 1) & mask     # z_{i-1}; z_{-1} = 1
+    g_dn = (g << 1) & mask           # g_{i-1}; g_{-1} = 0
+
+    f = (t_up & ((g & ~z_dn) | (z & ~g_dn))
+         | (~t_up & mask) & ((z & ~z_dn) | (g & ~g_dn))) & mask
+    # The indicator is only defined for positions <= width-2 (there is no
+    # t_{width}); the sign position itself can never break the sign run.
+    f &= (1 << (width - 1)) - 1
+
+    if f == 0:
+        # No significance anywhere: the sum is 0 or -1 -> fully redundant.
+        return width - 1 if width > 0 else 0
+    pos = f.bit_length() - 1
+    est = width - 1 - pos
+    # The anticipated position may be one left of the true leading one,
+    # never right of it, so est is a valid lower bound on the redundant
+    # leading sign bits.
+    return max(est, 0)

@@ -1,0 +1,151 @@
+"""Block-granular Zero Detector (ZD) with the Fig. 10 skip rules.
+
+The PCS-FMA replaces single-bit leading-zero normalization with a
+multiplexer that discards entire leading mantissa *blocks* (Sec. III-F).
+Because the mantissa is a two's-complement carry-save number, "zero"
+blocks come in several disguises (Fig. 10):
+
+(a) all digits 0;
+(b) all digits 1 -- redundant sign extension of a negative number;
+(c) ``1...1 2 0...0`` -- value-zero via the ripple carry of the 2;
+(d) an all-0 block may only be skipped when the first *two* CS digits of
+    the following block are also 0, otherwise collapsing the block can
+    flip the sign of the remaining number (the overflow case the paper
+    works through for ``0000000|012``).
+
+The analogous guard for all-1 blocks (not spelled out in the paper, but
+required for the same overflow reason) is: the next block's leading digit
+must be exactly 1 and either its second digit is 0 or the next block
+contains no 2-digits at all -- this covers the paper's ``1111111|111``
+example while provably preserving the two's-complement value, which the
+property-based tests check against :func:`skip_preserves_value`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .csnumber import CSNumber
+
+__all__ = [
+    "BlockKind",
+    "classify_block",
+    "block_digits",
+    "count_skippable_blocks",
+    "skip_preserves_value",
+]
+
+
+class BlockKind(enum.Enum):
+    """Classification of a mantissa block for the ZD."""
+
+    ZERO_VALUE = "zero-value"    # Fig. 10 a / c
+    ALL_ONES = "all-ones"        # Fig. 10 b
+    SIGNIFICANT = "significant"
+
+
+def block_digits(cs: CSNumber, block_index: int, block_size: int,
+                 ) -> list[int]:
+    """Digits of one block, MSB first.
+
+    ``block_index`` counts from 0 at the least significant block; the
+    block spans positions ``[block_index*block_size,
+    (block_index+1)*block_size)``.
+    """
+    lo = block_index * block_size
+    return [cs.digit(i) for i in range(min(lo + block_size, cs.width) - 1,
+                                       lo - 1, -1)]
+
+
+def classify_block(digits_msb_first: list[int]) -> BlockKind:
+    """Classify a digit block per Fig. 10.
+
+    ``ZERO_VALUE`` matches ``1...1 2 0...0`` (with zero or more leading
+    ones) *and* the all-0 block -- both contribute numeric value 0 to the
+    truncated window.  ``ALL_ONES`` is the redundant sign extension.
+    """
+    if all(d == 1 for d in digits_msb_first):
+        return BlockKind.ALL_ONES
+    # zero-value pattern: 1* (2 0*)? , i.e. ones, then optionally a single
+    # 2 followed only by zeros; the all-0 block is the a=0,no-2 case.
+    i = 0
+    n = len(digits_msb_first)
+    while i < n and digits_msb_first[i] == 1:
+        i += 1
+    if i == n:  # all ones (already handled) -- defensive
+        return BlockKind.ALL_ONES
+    if digits_msb_first[i] == 2:
+        # a leading (possibly empty) run of 1s, a single 2, zeros to the
+        # end: block value is exactly 2^block_size -> zero after the wrap
+        if all(d == 0 for d in digits_msb_first[i + 1:]):
+            return BlockKind.ZERO_VALUE
+        return BlockKind.SIGNIFICANT
+    # digits_msb_first[i] == 0: zero-value only if no ones preceded and
+    # the rest are zero too
+    if i == 0 and all(d == 0 for d in digits_msb_first):
+        return BlockKind.ZERO_VALUE
+    return BlockKind.SIGNIFICANT
+
+
+def _skip_ok(kind: BlockKind, next_digits: list[int]) -> bool:
+    """Guarded skip decision given the classification of the leading block
+    and the digits (MSB first) of the block below it."""
+    if not next_digits:
+        return False
+    d0 = next_digits[0]
+    d1 = next_digits[1] if len(next_digits) > 1 else 0
+    if kind is BlockKind.ZERO_VALUE:
+        return d0 == 0 and d1 == 0
+    if kind is BlockKind.ALL_ONES:
+        if d0 != 1:
+            return False
+        return d1 == 0 or all(d <= 1 for d in next_digits)
+    return False
+
+
+def count_skippable_blocks(cs: CSNumber, block_size: int,
+                           max_skip: int | None = None) -> int:
+    """Number of leading blocks the ZD discards.
+
+    ``cs.width`` must be a multiple of ``block_size``.  ``max_skip``
+    bounds the count (the 6-to-1 mux of the PCS unit can skip at most 5
+    of its 7 blocks, Sec. III-F).
+
+    A prefix of ``k`` leading blocks is skippable iff discarding it
+    preserves the two's-complement value of the number.  The Fig. 10
+    patterns (all-0 blocks, all-1 sign extensions, ``1...1 2 0...0``
+    ripple blocks, and the two-digit overflow guards) are the *local*
+    manifestations of this criterion; carry-save ripple chains can span
+    several blocks (an all-1 block completed to zero by a ``2`` digit in
+    the block below, or by a digit-sum overflow of the kept region), so
+    hardware joins the per-block detectors with a block-granular
+    carry/sign lookahead.  We model the decision by its semantic
+    definition (:func:`skip_preserves_value`); the local Fig. 10 rules
+    are kept in :func:`classify_block` for documentation and testing.
+
+    The largest valid ``k`` is returned.
+    """
+    if cs.width % block_size:
+        raise ValueError("width must be a multiple of the block size")
+    nblocks = cs.width // block_size
+    limit = nblocks - 1 if max_skip is None else min(max_skip, nblocks - 1)
+    for k in range(limit, 0, -1):
+        if skip_preserves_value(cs, block_size, k):
+            return k
+    return 0
+
+
+def skip_preserves_value(cs: CSNumber, block_size: int, skipped: int,
+                         ) -> bool:
+    """Semantic check: does discarding ``skipped`` leading blocks leave
+    the two's-complement value unchanged?
+
+    Used by the property-based tests as the ground truth the local
+    Fig. 10 rules must never violate.
+    """
+    full = cs.signed_value()
+    new_width = cs.width - skipped * block_size
+    if new_width <= 0:
+        return full == 0 or full == -1
+    reduced = cs.truncated(new_width)
+    return reduced.signed_value() == full

@@ -1,0 +1,25 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+* :mod:`~repro.experiments.table1` -- synthesis results,
+* :mod:`~repro.experiments.fig13` -- latency per multiply-add,
+* :mod:`~repro.experiments.fig14` -- numerical accuracy of chained FMAs,
+* :mod:`~repro.experiments.table2` -- energy per operation,
+* :mod:`~repro.experiments.fig15` -- `ldlsolve()` schedule lengths,
+* :mod:`~repro.experiments.ablation` -- design-space ablations
+  (carry density, ZD vs LZA),
+* :mod:`~repro.experiments.runner` -- the CLI driver
+  (``repro-experiments``); imported lazily so ``python -m
+  repro.experiments.runner`` stays warning-free.
+"""
+
+from . import ablation, fig13, fig14, fig15, table1, table2
+
+__all__ = ["table1", "fig13", "fig14", "table2", "fig15", "ablation",
+           "runner"]
+
+
+def __getattr__(name):
+    if name == "runner":
+        from . import runner
+        return runner
+    raise AttributeError(name)

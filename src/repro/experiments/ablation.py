@@ -1,0 +1,276 @@
+"""Ablations: the design-space knobs the paper discusses.
+
+Three studies backing the paper's design decisions and its future-work
+section (Sec. V):
+
+* **Carry-bit density** (Sec. III-E + future work): with 55-bit blocks
+  the legal PCS carry spacings are 5, 11 and 55; the paper picks 11
+  because the 5b-vs-11b adder delay gap is tiny while the carry-bit
+  cost halves.  The future-work variant uses 56-bit blocks, whose
+  divisors (2, 4, 7, 8, 14, 28, 56) open a finer trade-off curve.  We
+  sweep both.
+* **Block size vs precision** (Sec. III-D/G/H): how result block size
+  and count trade multiplexer complexity against guaranteed significant
+  digits.
+* **Selector choice** (Sec. III-F vs III-G): exact ZD vs early block
+  LZA on the same PCS geometry -- the accuracy cost of anticipation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..fma import CSFmaParams, CSFmaUnit, cs_to_ieee, ieee_to_cs
+from ..fp import double, exact_fma_fraction, ulp_error
+from ..hw import VIRTEX6, FpgaDevice
+
+__all__ = [
+    "CarryDensityPoint", "carry_density_sweep",
+    "SelectorPoint", "selector_accuracy_study",
+    "format_carry_density", "format_selector_study",
+    "divisor_spacings",
+    "DotStudyRow", "dot_product_study", "format_dot_study",
+    "DeviceSweepRow", "device_sweep", "format_device_sweep",
+]
+
+
+def divisor_spacings(block: int) -> list[int]:
+    """Legal PCS carry spacings for a block size: the divisors > 1
+    ("the insertion of a carry bit only for every 5th, 11th or 55th
+    bit", Sec. III-E -- i.e. the divisors of 55)."""
+    return [k for k in range(2, block + 1) if block % k == 0]
+
+
+@dataclass(frozen=True)
+class CarryDensityPoint:
+    block: int
+    spacing: int
+    chunk_adder_ns: float       # reg-to-reg delay of the chunk adder
+    carry_bits_per_block: int   # explicit carries per result block
+    window_carry_bits: int      # carries across the whole adder window
+    delay_penalty_percent: float  # vs the densest (fastest) spacing
+
+
+def carry_density_sweep(blocks: list[int] | None = None,
+                        device: FpgaDevice = VIRTEX6,
+                        window_blocks: int = 7) -> list[CarryDensityPoint]:
+    """Sweep carry spacing for 55-bit blocks (the paper's) and 56-bit
+    blocks (the future-work variant)."""
+    blocks = blocks if blocks is not None else [55, 56]
+    points: list[CarryDensityPoint] = []
+    for block in blocks:
+        spacings = divisor_spacings(block)
+        fastest = device.adder_regreg_ns(min(spacings))
+        for spacing in spacings:
+            delay = device.adder_regreg_ns(spacing)
+            points.append(CarryDensityPoint(
+                block=block,
+                spacing=spacing,
+                chunk_adder_ns=delay,
+                carry_bits_per_block=block // spacing,
+                window_carry_bits=(block * window_blocks) // spacing,
+                delay_penalty_percent=100.0 * (delay - fastest) / fastest,
+            ))
+    return points
+
+
+def format_carry_density(points: list[CarryDensityPoint]) -> str:
+    out = ["Ablation: PCS carry-bit density (Sec. III-E / Sec. V)",
+           f"{'block':>5} {'spacing':>8} {'adder ns':>9} "
+           f"{'carries/blk':>11} {'window carries':>14} {'penalty':>8}"]
+    for p in points:
+        out.append(f"{p.block:>5} {p.spacing:>8} {p.chunk_adder_ns:>9.3f} "
+                   f"{p.carry_bits_per_block:>11} "
+                   f"{p.window_carry_bits:>14} "
+                   f"{p.delay_penalty_percent:>7.1f}%")
+    out.append("(the paper picks spacing 11: near-minimal delay at a "
+               "fifth of the carry bits of spacing 5)")
+    return "\n".join(out)
+
+
+@dataclass(frozen=True)
+class SelectorPoint:
+    selector: str
+    mean_ulp_error: float
+    max_ulp_error: float
+    samples: int
+
+
+def selector_accuracy_study(samples: int = 400, seed: int = 0,
+                            params: CSFmaParams | None = None,
+                            ) -> list[SelectorPoint]:
+    """Exact ZD vs early block LZA on identical PCS geometry.
+
+    The LZA variant may keep up to one extra redundant block in the
+    result (its bound is conservative), costing trailing precision in
+    rare cases -- the trade the FCS unit's widened blocks absorb.
+    """
+    from ..fma.formats import PCS_PARAMS
+
+    params = params or PCS_PARAMS
+    units = {
+        "zd": CSFmaUnit(params, selector="zd", use_carry_reduce=True),
+        "lza": CSFmaUnit(params, selector="lza", use_carry_reduce=True),
+    }
+    rng = random.Random(seed)
+    results = []
+    for name, unit in units.items():
+        total = Fraction(0)
+        worst = Fraction(0)
+        n = 0
+        for _ in range(samples):
+            a = rng.uniform(-1e3, 1e3) * 10 ** rng.randint(-6, 6)
+            b = rng.uniform(-1e3, 1e3) * 10 ** rng.randint(-6, 6)
+            c = rng.uniform(-1e3, 1e3) * 10 ** rng.randint(-6, 6)
+            fa, fb, fc = double(a), double(b), double(c)
+            r = unit.fma(ieee_to_cs(fa, params), fb,
+                         ieee_to_cs(fc, params))
+            out = cs_to_ieee(r)
+            exact = exact_fma_fraction(fa, fb, fc)
+            if out.is_normal and exact != 0:
+                err = ulp_error(out, exact)
+                total += err
+                worst = max(worst, err)
+                n += 1
+        results.append(SelectorPoint(name, float(total / max(n, 1)),
+                                     float(worst), n))
+    return results
+
+
+def format_selector_study(points: list[SelectorPoint]) -> str:
+    out = ["Ablation: ZD (Sec. III-F) vs early block LZA (Sec. III-G) "
+           "on PCS geometry",
+           f"{'selector':>8} {'mean ULP err':>13} {'max ULP err':>12} "
+           f"{'samples':>8}"]
+    for p in points:
+        out.append(f"{p.selector:>8} {p.mean_ulp_error:>13.4f} "
+                   f"{p.max_ulp_error:>12.4f} {p.samples:>8}")
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Fused dot products (Sec. V: CS mantissas applied to other operations)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DotStudyRow:
+    implementation: str
+    mean_ulp_error: float
+    max_ulp_error: float
+
+
+def dot_product_study(trials: int = 25, seed: int = 0,
+                      max_len: int = 60) -> list[DotStudyRow]:
+    """Accuracy of fused CS dot products vs software baselines on
+    ill-conditioned inner products (wide dynamic range, cancellation)."""
+    from ..fma.dotprod import compare_dot_products
+    from ..fp.value import FPValue
+
+    rng = random.Random(seed)
+    sums: dict[str, float] = {}
+    maxes: dict[str, float] = {}
+    for _ in range(trials):
+        n = rng.randint(5, max_len)
+        a, b = [], []
+        for _ in range(n):
+            scale = 10.0 ** rng.randint(0, 10)
+            a.append(FPValue.from_float(rng.uniform(-scale, scale)))
+            b.append(FPValue.from_float(rng.uniform(-1, 1)))
+        cmpres = compare_dot_products(a, b)
+        for name, err in cmpres.errors_ulp.items():
+            sums[name] = sums.get(name, 0.0) + err
+            maxes[name] = max(maxes.get(name, 0.0), err)
+    return [DotStudyRow(name, sums[name] / trials, maxes[name])
+            for name in sums]
+
+
+def format_dot_study(rows: list[DotStudyRow]) -> str:
+    out = ["Extension (Sec. V): fused dot products on CS mantissas",
+           f"{'implementation':>14} {'mean ULP err':>13} "
+           f"{'max ULP err':>12}"]
+    for r in sorted(rows, key=lambda r: r.mean_ulp_error):
+        out.append(f"{r.implementation:>14} {r.mean_ulp_error:>13.3f} "
+                   f"{r.max_ulp_error:>12.3f}")
+    out.append("(one normalization per reduction beats even Kahan "
+               "compensation)")
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Multiplier tree height: simple vs Booth-recoded rows (Sec. III-D)
+# ---------------------------------------------------------------------------
+
+def booth_tree_study(widths=(24, 53, 87, 110)) -> str:
+    """The Sec. III-D argument quantified: tree height vs the number of
+    partial-product rows, with radix-4 Booth recoding as the lever."""
+    from ..cs.booth import compare_tree_heights
+
+    out = ["Ablation: multiplier CSA-tree height (Sec. III-D)",
+           f"{'B width':>8} {'rows':>5} {'depth':>6} {'booth rows':>11} "
+           f"{'booth depth':>12} {'levels saved':>13}"]
+    for w in widths:
+        c = compare_tree_heights(w)
+        out.append(f"{w:>8} {c.simple_rows:>5} {c.simple_depth:>6} "
+                   f"{c.booth_rows:>11} {c.booth_depth:>12} "
+                   f"{c.levels_saved:>13}")
+    out.append("(widening C leaves the row count -- and thus the tree "
+               "height -- unchanged; only B's width matters)")
+    return "\n".join(out)
+
+
+__all__.append("booth_tree_study")
+
+
+# ---------------------------------------------------------------------------
+# Device portability (Sec. III / III-H)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DeviceSweepRow:
+    device: str
+    architecture: str
+    available: bool
+    fmax_mhz: float | None
+    cycles: int | None
+    latency_ns: float | None
+
+
+def device_sweep(targets=("pcs-fma", "fcs-fma"),
+                 device_names=("virtex5", "virtex6", "virtex7"),
+                 ) -> list[DeviceSweepRow]:
+    """Synthesize the CS units across FPGA generations: the PCS-FMA is
+    'portable to older FPGAs (e.g. Xilinx Virtex-5)' while the FCS-FMA
+    requires the DSP48E1 pre-adder of Virtex-6 and later."""
+    from ..hw import design_by_name, device_by_name, synthesize
+
+    rows = []
+    for dname in device_names:
+        device = device_by_name(dname)
+        for arch in targets:
+            try:
+                report = synthesize(design_by_name(arch, device), device)
+            except ValueError:
+                rows.append(DeviceSweepRow(dname, arch, False, None,
+                                           None, None))
+                continue
+            rows.append(DeviceSweepRow(dname, arch, True,
+                                       report.fmax_mhz, report.cycles,
+                                       report.latency_ns))
+    return rows
+
+
+def format_device_sweep(rows: list[DeviceSweepRow]) -> str:
+    out = ["Ablation: device portability (Sec. III / III-H)",
+           f"{'device':>8} {'unit':>8} {'fmax':>6} {'cyc':>4} "
+           f"{'latency':>8}"]
+    for r in rows:
+        if not r.available:
+            out.append(f"{r.device:>8} {r.architecture:>8} "
+                       "   -- unavailable (no DSP pre-adder) --")
+        else:
+            out.append(f"{r.device:>8} {r.architecture:>8} "
+                       f"{r.fmax_mhz:>6.0f} {r.cycles:>4} "
+                       f"{r.latency_ns:>7.1f}ns")
+    return "\n".join(out)

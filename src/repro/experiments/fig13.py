@@ -1,0 +1,56 @@
+"""Fig. 13 -- minimum computation time per multiply-add operation.
+
+Latency = minimum clock period x pipeline length, for every Table I
+architecture; the paper's headline claim is PCS ~1.7x and FCS ~2.5x
+faster than the closest competitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw import VIRTEX6, FpgaDevice, synthesize_by_name
+from .table1 import DISPLAY, PAPER_TABLE1
+
+__all__ = ["Fig13Point", "run", "format_table", "paper_latency_ns"]
+
+
+def paper_latency_ns(name: str) -> float:
+    """The latency Fig. 13 plots, derived from the paper's Table I."""
+    fmax, cycles, _l, _d = PAPER_TABLE1[name]
+    return 1000.0 / fmax * cycles
+
+
+@dataclass(frozen=True)
+class Fig13Point:
+    architecture: str
+    latency_ns: float
+    paper_latency_ns: float
+    speedup_vs_best_baseline: float
+
+
+def run(device: FpgaDevice = VIRTEX6,
+        target_mhz: float = 200.0) -> list[Fig13Point]:
+    reports = {name: synthesize_by_name(name, device, target_mhz)
+               for name in PAPER_TABLE1}
+    best_base = min(reports["coregen"].latency_ns,
+                    reports["flopoco"].latency_ns)
+    return [Fig13Point(name, r.latency_ns, paper_latency_ns(name),
+                       best_base / r.latency_ns)
+            for name, r in reports.items()]
+
+
+def format_table(points: list[Fig13Point]) -> str:
+    from .figures import bar_chart
+
+    out = ["Fig. 13: Latency per multiply-add (min period x cycles)",
+           f"{'Architecture':<20} {'ns':>7} {'paper ns':>9} "
+           f"{'speedup':>8}"]
+    for p in points:
+        out.append(f"{DISPLAY[p.architecture]:<20} {p.latency_ns:>7.1f} "
+                   f"{p.paper_latency_ns:>9.1f} "
+                   f"{p.speedup_vs_best_baseline:>7.2f}x")
+    out.append("")
+    out.append(bar_chart([(DISPLAY[p.architecture], p.latency_ns)
+                          for p in points], unit=" ns"))
+    return "\n".join(out)

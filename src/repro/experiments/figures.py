@@ -1,0 +1,63 @@
+"""Text rendering of the paper's figures (horizontal bar charts).
+
+The experiment modules return structured data; this module turns them
+into terminal bar charts so ``repro-experiments`` output visually
+mirrors Fig. 13 / Fig. 14 / Fig. 15.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+_FULL = "█"
+_PART = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    if vmax <= 0:
+        return ""
+    cells = value / vmax * width
+    whole = int(cells)
+    frac = cells - whole
+    bar = _FULL * whole
+    idx = int(frac * 8)
+    if idx > 0 and whole < width:
+        bar += _PART[idx]
+    return bar
+
+
+def bar_chart(items: list[tuple[str, float]], *, width: int = 44,
+              unit: str = "", title: str = "") -> str:
+    """Render labeled values as a horizontal bar chart.
+
+    >>> print(bar_chart([("a", 2.0), ("b", 1.0)], width=4))
+    a 2.00 ████
+    b 1.00 ██
+    """
+    if not items:
+        return title
+    vmax = max(v for _l, v in items)
+    label_w = max(len(lbl) for lbl, _v in items)
+    val_w = max(len(f"{v:.2f}") for _l, v in items)
+    lines = [title] if title else []
+    for label, value in items:
+        lines.append(f"{label:<{label_w}} {value:>{val_w}.2f}{unit} "
+                     f"{_bar(value, vmax, width)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: list[tuple[str, list[tuple[str, float]]]],
+                      *, width: int = 40, unit: str = "",
+                      title: str = "") -> str:
+    """Render groups of labeled values (e.g. per-solver series)."""
+    lines = [title] if title else []
+    vmax = max((v for _g, items in groups for _l, v in items),
+               default=0.0)
+    label_w = max((len(lbl) for _g, items in groups
+                   for lbl, _v in items), default=1)
+    for gname, items in groups:
+        lines.append(f"{gname}:")
+        for label, value in items:
+            lines.append(f"  {label:<{label_w}} {value:>8.1f}{unit} "
+                         f"{_bar(value, vmax, width)}")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Command-line driver: regenerate every table and figure of the paper.
+
+Usage::
+
+    repro-experiments              # run everything
+    repro-experiments table1 fig14
+    python -m repro.experiments.runner fig15
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ablation, fig13, fig14, fig15, table1, table2
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_ablation(args) -> str:
+    parts = [
+        ablation.format_carry_density(ablation.carry_density_sweep()),
+        "",
+        ablation.format_selector_study(
+            ablation.selector_accuracy_study(samples=args.runs * 20)),
+        "",
+        ablation.booth_tree_study(),
+        "",
+        ablation.format_device_sweep(ablation.device_sweep()),
+        "",
+        ablation.format_dot_study(
+            ablation.dot_product_study(trials=args.runs)),
+    ]
+    return "\n".join(parts)
+
+
+EXPERIMENTS = {
+    "table1": lambda args: table1.format_table(table1.run()),
+    "fig13": lambda args: fig13.format_table(fig13.run()),
+    "fig14": lambda args: fig14.format_table(
+        fig14.run(runs=args.runs)),
+    "table2": lambda args: table2.format_table(table2.run()),
+    "fig15": lambda args: fig15.format_table(fig15.run()),
+    "ablation": _run_ablation,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures from the "
+                    "reproduction models.")
+    parser.add_argument("experiments", nargs="*",
+                        choices=[*EXPERIMENTS, []],
+                        help="which experiments to run (default: all)")
+    parser.add_argument("--runs", type=int, default=20,
+                        help="number of random runs for fig14")
+    args = parser.parse_args(argv)
+    names = args.experiments or list(EXPERIMENTS)
+    for name in names:
+        t0 = time.time()
+        print(f"=== {name} " + "=" * (60 - len(name)))
+        print(EXPERIMENTS[name](args))
+        print(f"[{name} took {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

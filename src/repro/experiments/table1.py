@@ -1,0 +1,68 @@
+"""Table I -- synthesis results (fmax, cycles, LUTs, DSPs).
+
+Regenerates the paper's synthesis comparison of Xilinx CoreGen,
+FloPoCo FPPipeline, PCS-FMA and FCS-FMA on Virtex-6 at the 200 MHz
+constraint, from the calibrated hardware model of :mod:`repro.hw`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw import VIRTEX6, FpgaDevice, SynthesisReport, synthesize_by_name
+
+__all__ = ["PAPER_TABLE1", "Table1Row", "run", "format_table"]
+
+#: The paper's published numbers: fmax MHz, cycles, LUTs, DSPs.
+PAPER_TABLE1: dict[str, tuple[int, int, int, int]] = {
+    "coregen": (244, 9, 1253, 13),
+    "flopoco": (190, 11, 1508, 7),
+    "pcs-fma": (231, 5, 5832, 21),
+    "fcs-fma": (211, 3, 4685, 12),
+}
+
+#: pretty names matching the paper's table
+DISPLAY = {
+    "coregen": "Xilinx CoreGen",
+    "flopoco": "FloPoCo FPPipeline",
+    "pcs-fma": "PCS-FMA",
+    "fcs-fma": "FCS-FMA",
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    architecture: str
+    fmax_mhz: float
+    cycles: int
+    luts: int
+    dsps: int
+    paper: tuple[int, int, int, int]
+
+    @property
+    def fmax_delta_percent(self) -> float:
+        return 100.0 * (self.fmax_mhz - self.paper[0]) / self.paper[0]
+
+
+def run(device: FpgaDevice = VIRTEX6,
+        target_mhz: float = 200.0) -> list[Table1Row]:
+    """Synthesize all four architectures and return the table rows."""
+    rows = []
+    for name, paper in PAPER_TABLE1.items():
+        r: SynthesisReport = synthesize_by_name(name, device, target_mhz)
+        rows.append(Table1Row(name, r.fmax_mhz, r.cycles, r.luts, r.dsps,
+                              paper))
+    return rows
+
+
+def format_table(rows: list[Table1Row]) -> str:
+    out = ["Table I: Synthesis results (measured vs paper)",
+           f"{'Architecture':<20} {'fMax':>6} {'Cyc':>4} {'LUTs':>6} "
+           f"{'DSPs':>5}   {'paper (fMax/Cyc/LUT/DSP)':>26}"]
+    for r in rows:
+        p = r.paper
+        out.append(
+            f"{DISPLAY[r.architecture]:<20} {r.fmax_mhz:>6.0f} "
+            f"{r.cycles:>4} {r.luts:>6} {r.dsps:>5}   "
+            f"{p[0]:>7}/{p[1]}/{p[2]}/{p[3]}")
+    return "\n".join(out)

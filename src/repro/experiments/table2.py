@@ -1,0 +1,71 @@
+"""Table II -- average energy per multiply-add operation (nJ).
+
+Reproduces the paper's XPower methodology: run the Fig. 14 benchmark
+through the functional models in pipeline steady state, record the
+switching activity, and propagate it through the component netlists
+(see :mod:`repro.hw.energy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fma import DiscreteMulAddEngine, FusedIeeeEngine, fcs_engine, \
+    pcs_engine
+from ..fp import BINARY64
+from ..hw import (VIRTEX6, EnergyReport, FpgaDevice, design_by_name,
+                  estimate_energy, measure_toggle_activity, synthesize)
+from .fig14 import make_workload
+from .table1 import DISPLAY
+
+__all__ = ["PAPER_TABLE2", "Table2Row", "run", "format_table"]
+
+#: Table II of the paper, nJ per multiply-add.
+PAPER_TABLE2 = {
+    "coregen": 0.54,
+    "flopoco": 0.74,
+    "pcs-fma": 2.67,
+    "fcs-fma": 2.36,
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    architecture: str
+    energy_nj: float
+    paper_nj: float
+    report: EnergyReport
+
+
+def run(device: FpgaDevice = VIRTEX6, steps: int = 40,
+        seed: int = 42) -> list[Table2Row]:
+    b1, b2, x0 = make_workload(seed, steps)
+    engines = {
+        "coregen": DiscreteMulAddEngine(BINARY64),
+        "flopoco": FusedIeeeEngine(),
+        "pcs-fma": pcs_engine(),
+        "fcs-fma": fcs_engine(),
+    }
+    rows = []
+    for name, engine in engines.items():
+        act = measure_toggle_activity(engine, b1, b2, x0, steps)
+        design = design_by_name(name, device)
+        report = synthesize(design, device)
+        er = estimate_energy(design, report, act, device)
+        rows.append(Table2Row(name, er.total_nj, PAPER_TABLE2[name], er))
+    return rows
+
+
+def format_table(rows: list[Table2Row]) -> str:
+    base = next(r.energy_nj for r in rows if r.architecture == "coregen")
+    out = ["Table II: average energy per multiply-add (nJ)",
+           f"{'Architecture':<20} {'nJ':>6} {'paper':>6} {'xCoreGen':>9}"
+           f"   breakdown (logic/dsp/reg/clk)"]
+    for r in rows:
+        er = r.report
+        out.append(
+            f"{DISPLAY[r.architecture]:<20} {r.energy_nj:>6.2f} "
+            f"{r.paper_nj:>6.2f} {r.energy_nj / base:>8.2f}x   "
+            f"{er.logic_nj:.2f}/{er.dsp_nj:.2f}/"
+            f"{er.register_nj:.3f}/{er.clock_nj:.3f}")
+    return "\n".join(out)

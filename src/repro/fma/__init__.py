@@ -1,0 +1,38 @@
+"""The paper's core contribution: carry-save fused multiply-add units.
+
+* :class:`~repro.fma.classic.ClassicFmaUnit` -- the 1990 baseline
+  architecture (Fig. 4), IEEE in/out, correctly rounded.
+* :class:`~repro.fma.csfma.PcsFmaUnit` -- partial carry save, 55b blocks,
+  Zero-Detector normalization (Fig. 9).
+* :class:`~repro.fma.csfma.FcsFmaUnit` -- full carry save, 29-digit
+  blocks, early block LZA, DSP pre-adders (Fig. 11).
+* Operand formats and converters (Fig. 8), and chain engines for running
+  whole multiply-add chains in any implementation.
+"""
+
+from .accumulator import AccumulatorOverflow, PcsAccumulator
+from .chain import (CSFmaEngine, DiscreteMulAddEngine, FmaEngine,
+                    FusedIeeeEngine, RecurrenceResult, fcs_engine,
+                    pcs_engine, reference_recurrence, run_recurrence)
+from .classic import ClassicFmaUnit, ClassicTrace
+from .convert import cs_to_ieee, ieee_to_cs
+from .csfma import CSFmaUnit, FcsFmaUnit, FmaTrace, PcsFmaUnit
+from .dotprod import (DotProductComparison, FusedDotProductUnit,
+                      compare_dot_products, exact_dot, fma_dot, kahan_dot,
+                      naive_dot)
+from .formats import (CSFloat, CSFmaParams, FCS_PARAMS, PCS_PARAMS,
+                      chunk_carry_mask, round_decision)
+
+__all__ = [
+    "ClassicFmaUnit", "ClassicTrace",
+    "CSFmaUnit", "PcsFmaUnit", "FcsFmaUnit", "FmaTrace",
+    "CSFloat", "CSFmaParams", "PCS_PARAMS", "FCS_PARAMS",
+    "chunk_carry_mask", "round_decision",
+    "ieee_to_cs", "cs_to_ieee",
+    "FmaEngine", "DiscreteMulAddEngine", "FusedIeeeEngine", "CSFmaEngine",
+    "pcs_engine", "fcs_engine", "run_recurrence", "RecurrenceResult",
+    "reference_recurrence",
+    "FusedDotProductUnit", "naive_dot", "fma_dot", "kahan_dot",
+    "exact_dot", "compare_dot_products", "DotProductComparison",
+    "PcsAccumulator", "AccumulatorOverflow",
+]

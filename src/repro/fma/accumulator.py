@@ -1,0 +1,147 @@
+"""The PCS multiply-accumulate baseline ([12], de Dinechin & Pasca).
+
+Sec. III opens by *eliminating* this design from consideration for the
+solver datapaths: "the MAC unit proposed in [12] ... only exploits low
+latency addition.  However, the idea of a mantissa in PCS format, which
+we exploit in our FMA designs, originates in that work."
+
+The unit is still the right tool for the job it was built for -- long
+*independent* accumulations (sums of products into one register) -- so
+the reproduction includes it both as the historical baseline and as a
+foil for the ablation that explains the paper's choice:
+
+* the accumulator is a wide **fixed-point** window in partial carry
+  save; adding a product is carry-propagation-free (one 3:2 level plus
+  the chunked carry reduce), so its *addition* latency is one cycle;
+* but each product still comes from an ordinary IEEE multiplier, and
+  the conversion of a dependent result back to a multiplier input costs
+  the full normalization -- which is why chained multiply-adds (the
+  solver pattern of Listing 1) see no benefit.
+
+The window uses application-specified range parameters ``max_exp`` /
+``lsb_exp`` ("relies on application-specific knowledge of the input and
+output value ranges", Sec. II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..cs.adders import carry_reduce
+from ..cs.csnumber import CSNumber
+from ..fp.formats import BINARY64
+from ..fp.ops import fp_mul
+from ..fp.rounding import RoundingMode
+from ..fp.value import FPValue
+
+__all__ = ["PcsAccumulator", "AccumulatorOverflow"]
+
+
+class AccumulatorOverflow(ArithmeticError):
+    """A product fell outside the configured accumulator window."""
+
+
+@dataclass
+class PcsAccumulator:
+    """A fixed-point partial-carry-save accumulator (the [12] MAC).
+
+    Parameters
+    ----------
+    max_exp:
+        Weight of the window's most significant bit (products whose
+        magnitude exceeds ``2^max_exp`` overflow).
+    lsb_exp:
+        Weight of the window's least significant bit (product bits below
+        it are truncated).
+    carry_spacing:
+        Chunk width of the explicit carries (the paper's 11).
+    guard_bits:
+        Extra sign/overflow headroom at the top of the window.
+    """
+
+    max_exp: int = 64
+    lsb_exp: int = -64
+    carry_spacing: int = 11
+    guard_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_exp <= self.lsb_exp:
+            raise ValueError("max_exp must exceed lsb_exp")
+        self._width = self.max_exp - self.lsb_exp + self.guard_bits
+        self._state = CSNumber.zero(self._width)
+        self._ops = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Window width in bits (the fixed-point precision carried)."""
+        return self._width
+
+    @property
+    def operations(self) -> int:
+        return self._ops
+
+    def reset(self) -> None:
+        self._state = CSNumber.zero(self._width)
+        self._ops = 0
+
+    def accumulate(self, a: FPValue, b: FPValue) -> None:
+        """Add ``a * b`` into the window (one singly-rounded IEEE
+        multiply feeding the carry-free accumulate)."""
+        prod = fp_mul(a, b, fmt=BINARY64)
+        self.accumulate_value(prod)
+
+    def accumulate_value(self, x: FPValue) -> None:
+        """Add an IEEE value into the window."""
+        if x.is_nan or x.is_inf:
+            raise AccumulatorOverflow("non-finite addend")
+        if x.is_zero:
+            self._ops += 1
+            return
+        shift = x.unbiased_exponent - 52 - self.lsb_exp
+        mant = x.significand if not x.sign else -x.significand
+        if shift >= 0:
+            addend = mant << shift
+        else:
+            addend = mant >> (-shift)        # truncate below the window
+        top = addend.bit_length()
+        if top >= self._width:
+            raise AccumulatorOverflow(
+                f"|x| = 2^{x.unbiased_exponent} exceeds the window "
+                f"(max_exp={self.max_exp})")
+        wrapped = addend & ((1 << self._width) - 1)
+        # carry-free add: one 3:2 level over {sum, carry, addend}, then
+        # the chunked carry reduce of Sec. III-E
+        from ..cs.csa import csa3
+
+        s, c = csa3(self._state.sum, self._state.carry, wrapped)
+        mask = (1 << self._width) - 1
+        self._state = carry_reduce(CSNumber(s & mask, c & mask,
+                                            self._width),
+                                   self.carry_spacing)
+        self._state = CSNumber(self._state.sum,
+                               self._state.carry
+                               & ((1 << self._width) - 1),
+                               self._width)
+        self._ops += 1
+
+    # ------------------------------------------------------------------
+
+    def exact_value(self) -> Fraction:
+        """The window contents as an exact rational."""
+        v = self._state.signed_value()
+        scale = self.lsb_exp
+        return Fraction(v) * (Fraction(2) ** scale)
+
+    def result(self, mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+               ) -> FPValue:
+        """Normalize once, at the very end (the Fig. 3 principle)."""
+        v = self.exact_value()
+        if v == 0:
+            return FPValue.zero(BINARY64)
+        return FPValue.from_fraction(v, BINARY64, mode)
+
+    def result_float(self) -> float:
+        return self.result().to_float()

@@ -1,0 +1,176 @@
+"""FMA-chain engines: a uniform interface over every implementation.
+
+The paper's accuracy experiment (Fig. 14) runs the same recurrence
+
+    x[n] = B1 * x[n-1] + B2 * x[n-2] + x[n-3]
+
+through a *pair of chained FMA units* per step and compares the
+implementations.  An :class:`FmaEngine` abstracts "a datapath that keeps
+chain values in its own internal format": values are lifted once at the
+start, flow through ``fma`` calls in internal format (the critical ``A``
+and ``C`` inputs), and are lowered back to IEEE at the end -- mirroring
+how the HLS pass wires converters only at chain boundaries.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..fp.formats import BINARY64, FloatFormat
+from ..fp.ops import as_format, fp_add, fp_mul
+from ..fp.rounding import RoundingMode
+from ..fp.value import FPValue
+from .classic import ClassicFmaUnit
+from .convert import cs_to_ieee, ieee_to_cs
+from .csfma import CSFmaUnit, FcsFmaUnit, PcsFmaUnit
+
+__all__ = [
+    "FmaEngine",
+    "DiscreteMulAddEngine",
+    "FusedIeeeEngine",
+    "CSFmaEngine",
+    "pcs_engine",
+    "fcs_engine",
+    "run_recurrence",
+    "RecurrenceResult",
+]
+
+
+class FmaEngine(ABC):
+    """A multiply-add datapath with an internal chain format."""
+
+    #: human-readable identifier used by experiments and benchmarks
+    name: str = "engine"
+
+    @abstractmethod
+    def lift(self, x: FPValue) -> Any:
+        """Convert an IEEE binary64 value into the internal format."""
+
+    @abstractmethod
+    def fma(self, a: Any, b: FPValue, c: Any) -> Any:
+        """``a + b * c`` with ``a``/``c`` internal and ``b`` IEEE."""
+
+    @abstractmethod
+    def lower(self, r: Any) -> FPValue:
+        """Convert an internal value back to IEEE binary64."""
+
+
+class DiscreteMulAddEngine(FmaEngine):
+    """Discrete multiplier + adder IP (CoreGen-like): two roundings per
+    multiply-add, optionally on a widened format (the 68b/75b reference
+    datapaths of Fig. 14)."""
+
+    def __init__(self, fmt: FloatFormat = BINARY64,
+                 mode: RoundingMode = RoundingMode.NEAREST_EVEN):
+        self.fmt = fmt
+        self.mode = mode
+        self.name = f"discrete-{fmt.name}"
+
+    def lift(self, x: FPValue) -> FPValue:
+        return as_format(x, self.fmt, self.mode)
+
+    def fma(self, a: FPValue, b: FPValue, c: FPValue) -> FPValue:
+        prod = fp_mul(as_format(b, self.fmt, self.mode), c,
+                      fmt=self.fmt, mode=self.mode)
+        return fp_add(a, prod, fmt=self.fmt, mode=self.mode)
+
+    def lower(self, r: FPValue) -> FPValue:
+        return as_format(r, BINARY64, self.mode)
+
+
+class FusedIeeeEngine(FmaEngine):
+    """The classic FMA baseline: one correct rounding per multiply-add,
+    IEEE format between operations."""
+
+    def __init__(self, fmt: FloatFormat = BINARY64):
+        self.unit = ClassicFmaUnit(fmt)
+        self.fmt = fmt
+        self.name = f"classic-fma-{fmt.name}"
+
+    def lift(self, x: FPValue) -> FPValue:
+        return as_format(x, self.fmt)
+
+    def fma(self, a: FPValue, b: FPValue, c: FPValue) -> FPValue:
+        return self.unit.fma(a, as_format(b, self.fmt), c)
+
+    def lower(self, r: FPValue) -> FPValue:
+        return as_format(r, BINARY64)
+
+
+class CSFmaEngine(FmaEngine):
+    """A chain of P/FCS-FMA units: values stay in carry-save operand
+    format; only ``B`` coefficients remain IEEE binary64."""
+
+    def __init__(self, unit: CSFmaUnit):
+        self.unit = unit
+        self.name = unit.name
+
+    def lift(self, x: FPValue) -> Any:
+        return ieee_to_cs(x, self.unit.params)
+
+    def fma(self, a: Any, b: FPValue, c: Any) -> Any:
+        return self.unit.fma(a, b, c)
+
+    def lower(self, r: Any) -> FPValue:
+        return cs_to_ieee(r)
+
+
+def pcs_engine() -> CSFmaEngine:
+    """Chain engine over the paper's PCS-FMA unit."""
+    return CSFmaEngine(PcsFmaUnit())
+
+
+def fcs_engine() -> CSFmaEngine:
+    """Chain engine over the paper's FCS-FMA unit."""
+    return CSFmaEngine(FcsFmaUnit())
+
+
+@dataclass
+class RecurrenceResult:
+    """Trajectory of the Fig. 14 recurrence under one engine."""
+
+    engine: str
+    values: list[FPValue]          # lowered to binary64 after the run
+
+    @property
+    def final(self) -> FPValue:
+        return self.values[-1]
+
+
+def run_recurrence(engine: FmaEngine, b1: Sequence[FPValue],
+                   b2: Sequence[FPValue], x0: Sequence[FPValue],
+                   steps: int) -> RecurrenceResult:
+    """Run ``x[n] = B1[n]*x[n-1] + B2[n]*x[n-2] + x[n-3]`` for ``steps``
+    steps through a pair of chained FMA operations per step:
+
+        t    = x[n-3] + B2[n] * x[n-2]
+        x[n] = t      + B1[n] * x[n-1]
+
+    ``x0`` supplies ``x[0..2]``; coefficients are IEEE binary64.  The
+    returned trajectory is lowered to binary64 (one conversion per value,
+    applied after the chain, like the HLS converter placement).
+    """
+    if len(x0) != 3:
+        raise ValueError("the recurrence needs exactly three seed values")
+    xs = [engine.lift(v) for v in x0]
+    for n in range(steps):
+        t = engine.fma(xs[-3], b2[n], xs[-2])
+        xs.append(engine.fma(t, b1[n], xs[-1]))
+    return RecurrenceResult(engine.name, [engine.lower(v) for v in xs])
+
+
+def reference_recurrence(b1: Sequence[FPValue], b2: Sequence[FPValue],
+                         x0: Sequence[FPValue], steps: int):
+    """Exact rational trajectory of the same recurrence *with the same
+    two-FMA association*, for error measurement."""
+    xs = [v.to_fraction() for v in x0]
+    for n in range(steps):
+        t = xs[-3] + b2[n].to_fraction() * xs[-2]
+        xs.append(t + b1[n].to_fraction() * xs[-1])
+    return xs
+
+
+__all__.append("reference_recurrence")
+

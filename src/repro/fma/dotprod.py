@@ -1,0 +1,151 @@
+"""Fused dot products on carry-save mantissas (Sec. V future work).
+
+The paper closes with: "the concept of mantissas represented in
+partial/full carry save formats could [be] applied to other
+floating-point operations."  The most natural target -- and the one its
+related work singles out ([9, 10], fused dot products) -- is the inner
+product: a chain of multiply-adds sharing one accumulator.
+
+A :class:`FusedDotProductUnit` keeps the running sum in the CS operand
+format across the whole vector: every step is one P/FCS-FMA evaluation
+(``acc + a_i * b_i`` with the accumulator on the carry-save ``A`` port
+and one factor on the carry-save ``C`` port), and a single conversion
+rounds the result at the end -- the "normalize once per fused region"
+principle of Fig. 3 applied to a reduction.
+
+For comparison the module also provides the software baselines a
+practitioner would reach for: the naive binary64 loop and Kahan
+compensated summation of products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from ..fp.formats import BINARY64
+from ..fp.ops import fp_add, fp_fma, fp_mul, fp_sub
+from ..fp.value import FPValue
+from .convert import cs_to_ieee, ieee_to_cs
+from .csfma import CSFmaUnit, FcsFmaUnit, PcsFmaUnit
+
+__all__ = [
+    "FusedDotProductUnit",
+    "naive_dot",
+    "kahan_dot",
+    "exact_dot",
+    "DotProductComparison",
+    "compare_dot_products",
+]
+
+
+class FusedDotProductUnit:
+    """A fused dot product built on a carry-save FMA unit.
+
+    ``dot(a, b)`` evaluates ``sum_i a[i] * b[i]`` with the accumulator
+    held in the unit's operand format; only the final result is
+    normalized and rounded back to IEEE.
+    """
+
+    def __init__(self, unit: CSFmaUnit | None = None):
+        self.unit = unit if unit is not None else FcsFmaUnit()
+
+    @property
+    def name(self) -> str:
+        return f"fused-dot-{self.unit.params.name}"
+
+    def dot(self, a: Sequence[FPValue], b: Sequence[FPValue]) -> FPValue:
+        """Fused inner product of two IEEE vectors."""
+        if len(a) != len(b):
+            raise ValueError("vector length mismatch")
+        params = self.unit.params
+        acc = ieee_to_cs(FPValue.zero(BINARY64), params)
+        for ai, bi in zip(a, b):
+            acc = self.unit.fma(acc, ai, ieee_to_cs(bi, params))
+        return cs_to_ieee(acc)
+
+    def dot_floats(self, a: Sequence[float], b: Sequence[float]) -> float:
+        return self.dot([FPValue.from_float(x) for x in a],
+                        [FPValue.from_float(x) for x in b]).to_float()
+
+
+def naive_dot(a: Sequence[FPValue], b: Sequence[FPValue]) -> FPValue:
+    """The discrete baseline: one rounding per multiply and per add."""
+    acc = FPValue.zero(BINARY64)
+    for ai, bi in zip(a, b):
+        acc = fp_add(acc, fp_mul(ai, bi))
+    return acc
+
+
+def fma_dot(a: Sequence[FPValue], b: Sequence[FPValue]) -> FPValue:
+    """Binary64 FMA loop: one rounding per element (no fused
+    accumulator)."""
+    acc = FPValue.zero(BINARY64)
+    for ai, bi in zip(a, b):
+        acc = fp_fma(acc, ai, bi)
+    return acc
+
+
+__all__.insert(2, "fma_dot")
+
+
+def kahan_dot(a: Sequence[FPValue], b: Sequence[FPValue]) -> FPValue:
+    """Kahan-compensated summation of (singly rounded) products -- the
+    classic software answer to accumulation error."""
+    s = FPValue.zero(BINARY64)
+    comp = FPValue.zero(BINARY64)
+    for ai, bi in zip(a, b):
+        prod = fp_mul(ai, bi)
+        y = fp_sub(prod, comp)
+        t = fp_add(s, y)
+        comp = fp_sub(fp_sub(t, s), y)
+        s = t
+    return s
+
+
+def exact_dot(a: Sequence[FPValue], b: Sequence[FPValue]) -> Fraction:
+    """Exact rational inner product (oracle)."""
+    total = Fraction(0)
+    for ai, bi in zip(a, b):
+        total += ai.to_fraction() * bi.to_fraction()
+    return total
+
+
+@dataclass(frozen=True)
+class DotProductComparison:
+    """Errors of each implementation on one input pair, in ULPs of the
+    correctly rounded binary64 result."""
+
+    exact: Fraction
+    errors_ulp: dict[str, float]
+
+    def best(self) -> str:
+        return min(self.errors_ulp, key=lambda k: self.errors_ulp[k])
+
+
+def compare_dot_products(a: Sequence[FPValue], b: Sequence[FPValue],
+                         ) -> DotProductComparison:
+    """Run every implementation and measure against the exact value."""
+    exact = exact_dot(a, b)
+    correctly_rounded = FPValue.from_fraction(exact, BINARY64)
+    if correctly_rounded.is_normal:
+        e = correctly_rounded.unbiased_exponent - 52
+        ulp = Fraction(1 << e) if e >= 0 else Fraction(1, 1 << (-e))
+    else:
+        ulp = Fraction(1, 1 << 1074)
+
+    impls = {
+        "naive": naive_dot(a, b),
+        "fma-loop": fma_dot(a, b),
+        "kahan": kahan_dot(a, b),
+        "fused-pcs": FusedDotProductUnit(PcsFmaUnit()).dot(a, b),
+        "fused-fcs": FusedDotProductUnit(FcsFmaUnit()).dot(a, b),
+    }
+    errors = {}
+    for name, v in impls.items():
+        if v.is_finite:
+            errors[name] = float(abs(v.to_fraction() - exact) / ulp)
+        else:
+            errors[name] = float("inf")
+    return DotProductComparison(exact, errors)

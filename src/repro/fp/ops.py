@@ -1,0 +1,209 @@
+"""Discrete IEEE-754 operators (the "Xilinx CoreGen"-like baseline).
+
+These model the behaviour of separate multiplier and adder IP cores: each
+operation takes IEEE-formatted operands, computes the exact result and
+performs a *single* correct rounding back into the target format.  A
+multiply-add realized with these discrete units therefore rounds twice --
+exactly the accuracy disadvantage the paper's fused units remove.
+
+Special-value semantics follow IEEE 754 (with subnormals flushed to zero,
+as in the FPGA libraries): ``inf - inf = NaN``, ``0 * inf = NaN``, NaN
+propagates, and exact zero sums take the ``+0`` sign under round-to-nearest.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .formats import BINARY64, FloatFormat
+from .rounding import RoundingMode
+from .value import FPValue
+
+__all__ = [
+    "fp_add",
+    "fp_sub",
+    "fp_mul",
+    "fp_neg",
+    "fp_abs",
+    "fp_fma",
+    "fp_mul_add_discrete",
+]
+
+
+def _result_fmt(*xs: FPValue, fmt: FloatFormat | None) -> FloatFormat:
+    if fmt is not None:
+        return fmt
+    return xs[0].fmt
+
+
+def fp_neg(x: FPValue) -> FPValue:
+    """Sign flip (exact, even for specials; NaN unchanged)."""
+    if x.is_nan:
+        return x
+    return FPValue(x.fmt, x.cls, x.sign ^ 1, x.biased_exponent, x.fraction)
+
+
+def fp_abs(x: FPValue) -> FPValue:
+    """Magnitude (exact; NaN unchanged)."""
+    if x.is_nan:
+        return x
+    return FPValue(x.fmt, x.cls, 0, x.biased_exponent, x.fraction)
+
+
+def fp_add(a: FPValue, b: FPValue, *, fmt: FloatFormat | None = None,
+           mode: RoundingMode = RoundingMode.NEAREST_EVEN) -> FPValue:
+    """IEEE addition with a single rounding.
+
+    ``fmt`` selects the result format (defaults to ``a``'s); operands may
+    be in different formats -- the exact sum is formed before rounding,
+    which is how a widened-datapath adder behaves.
+    """
+    out = _result_fmt(a, b, fmt=fmt)
+    if a.is_nan or b.is_nan:
+        return FPValue.nan(out)
+    if a.is_inf or b.is_inf:
+        if a.is_inf and b.is_inf:
+            if a.sign != b.sign:
+                return FPValue.nan(out)
+            return FPValue.inf(out, a.sign)
+        return FPValue.inf(out, a.sign if a.is_inf else b.sign)
+    total = a.to_fraction() + b.to_fraction()
+    if total == 0:
+        # IEEE: exact zero sum is +0 under to-nearest, -0 under TO_NEG_INF;
+        # -0 + -0 keeps the sign.
+        if a.is_zero and b.is_zero and a.sign == b.sign:
+            return FPValue.zero(out, a.sign)
+        return FPValue.zero(out, 1 if mode is RoundingMode.TO_NEG_INF else 0)
+    return FPValue.from_fraction(total, out, mode)
+
+
+def fp_sub(a: FPValue, b: FPValue, *, fmt: FloatFormat | None = None,
+           mode: RoundingMode = RoundingMode.NEAREST_EVEN) -> FPValue:
+    """IEEE subtraction ``a - b`` (single rounding)."""
+    return fp_add(a, fp_neg(b), fmt=fmt, mode=mode)
+
+
+def fp_mul(a: FPValue, b: FPValue, *, fmt: FloatFormat | None = None,
+           mode: RoundingMode = RoundingMode.NEAREST_EVEN) -> FPValue:
+    """IEEE multiplication with a single rounding."""
+    out = _result_fmt(a, b, fmt=fmt)
+    if a.is_nan or b.is_nan:
+        return FPValue.nan(out)
+    sign = a.sign ^ b.sign
+    if a.is_inf or b.is_inf:
+        if a.is_zero or b.is_zero:
+            return FPValue.nan(out)  # 0 * inf
+        return FPValue.inf(out, sign)
+    if a.is_zero or b.is_zero:
+        return FPValue.zero(out, sign)
+    prod = a.to_fraction() * b.to_fraction()
+    return FPValue.from_fraction(prod, out, mode)
+
+
+def fp_div(a: FPValue, b: FPValue, *, fmt: FloatFormat | None = None,
+           mode: RoundingMode = RoundingMode.NEAREST_EVEN) -> FPValue:
+    """IEEE division with a single rounding.
+
+    Divisions appear in the solver kernels' *factorization* phase
+    (CVXGEN's `ldlfactor()`), not in the multiply-add-shaped
+    `ldlsolve()` the paper accelerates -- the operator exists so the
+    full generated solver can compile.
+    """
+    out = _result_fmt(a, b, fmt=fmt)
+    if a.is_nan or b.is_nan:
+        return FPValue.nan(out)
+    sign = a.sign ^ b.sign
+    if a.is_inf:
+        if b.is_inf:
+            return FPValue.nan(out)    # inf / inf
+        return FPValue.inf(out, sign)
+    if b.is_inf:
+        return FPValue.zero(out, sign)
+    if b.is_zero:
+        if a.is_zero:
+            return FPValue.nan(out)    # 0 / 0
+        return FPValue.inf(out, sign)  # x / 0
+    if a.is_zero:
+        return FPValue.zero(out, sign)
+    return FPValue.from_fraction(a.to_fraction() / b.to_fraction(),
+                                 out, mode)
+
+
+__all__.insert(3, "fp_div")
+
+
+def fp_fma(a: FPValue, b: FPValue, c: FPValue, *,
+           fmt: FloatFormat | None = None,
+           mode: RoundingMode = RoundingMode.NEAREST_EVEN) -> FPValue:
+    """Fused multiply-add ``a + b * c`` with a *single* rounding.
+
+    This is the idealized (infinitely-wide) fused semantics; the paper's
+    classic FMA baseline (Sec. III-A) realizes exactly this behaviour for
+    finite operands, and the P/FCS units approximate it (they can deviate
+    by the documented bounded misrounding).
+    """
+    out = _result_fmt(a, b, c, fmt=fmt)
+    if a.is_nan or b.is_nan or c.is_nan:
+        return FPValue.nan(out)
+    psign = b.sign ^ c.sign
+    # product special cases
+    if b.is_inf or c.is_inf:
+        if b.is_zero or c.is_zero:
+            return FPValue.nan(out)
+        if a.is_inf and a.sign != psign:
+            return FPValue.nan(out)
+        return FPValue.inf(out, psign)
+    if a.is_inf:
+        return FPValue.inf(out, a.sign)
+    total = a.to_fraction() + b.to_fraction() * c.to_fraction()
+    if total == 0:
+        if a.is_zero and (b.is_zero or c.is_zero) and a.sign == psign:
+            return FPValue.zero(out, a.sign)
+        return FPValue.zero(out, 1 if mode is RoundingMode.TO_NEG_INF else 0)
+    return FPValue.from_fraction(total, out, mode)
+
+
+def fp_mul_add_discrete(a: FPValue, b: FPValue, c: FPValue, *,
+                        fmt: FloatFormat | None = None,
+                        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+                        ) -> FPValue:
+    """``a + b * c`` realized with discrete units: the product is rounded
+    to the working format *before* the addition (two roundings total).
+
+    This is the CoreGen/FloPoCo-style baseline datapath the paper's fused
+    units are compared against in Fig. 14.
+    """
+    out = _result_fmt(a, b, c, fmt=fmt)
+    prod = fp_mul(b, c, fmt=out, mode=mode)
+    return fp_add(a, prod, fmt=out, mode=mode)
+
+
+def as_format(x: FPValue, fmt: FloatFormat,
+              mode: RoundingMode = RoundingMode.NEAREST_EVEN) -> FPValue:
+    """Convert a value between binary formats (one correct rounding)."""
+    if x.is_nan:
+        return FPValue.nan(fmt)
+    if x.is_inf:
+        return FPValue.inf(fmt, x.sign)
+    if x.is_zero:
+        return FPValue.zero(fmt, x.sign)
+    return FPValue.from_fraction(x.to_fraction(), fmt, mode)
+
+
+__all__.append("as_format")
+
+
+def double(x: float) -> FPValue:
+    """Shorthand: lift a Python float into a BINARY64 :class:`FPValue`."""
+    return FPValue.from_float(x, BINARY64)
+
+
+__all__.append("double")
+
+
+def exact_fma_fraction(a: FPValue, b: FPValue, c: FPValue) -> Fraction:
+    """Exact rational value of ``a + b*c`` for finite operands (oracle)."""
+    return a.to_fraction() + b.to_fraction() * c.to_fraction()
+
+
+__all__.append("exact_fma_fraction")

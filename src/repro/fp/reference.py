@@ -1,0 +1,104 @@
+"""Exact-arithmetic oracle used by tests and the accuracy experiments.
+
+The Fig. 14 experiment gauges every implementation against a higher
+precision "golden reference" (the paper used a 75-bit CoreGen datapath).
+For the reproduction we additionally keep a *fully exact* rational trace
+of every computation, which lets tests assert tight error bounds instead
+of merely comparing two approximations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Sequence
+
+from .formats import FloatFormat
+from .value import FPValue
+
+__all__ = ["ExactTrace", "mantissa_error_bits", "ulp_error"]
+
+
+@dataclass
+class ExactTrace:
+    """Accumulates an exact rational computation next to an approximate one.
+
+    Typical use: run a recurrence with some FMA implementation, feed the
+    same operations into the trace, then ask for the error of the final
+    value.
+    """
+
+    values: list[Fraction] = field(default_factory=list)
+
+    def seed(self, *xs: Fraction | int | float) -> None:
+        """Initialize the history with exact starting values."""
+        for x in xs:
+            self.values.append(Fraction(x))
+
+    def fma(self, a: Fraction, b: Fraction, c: Fraction) -> Fraction:
+        """Record and return the exact ``a + b*c``."""
+        r = a + b * c
+        self.values.append(r)
+        return r
+
+    @property
+    def last(self) -> Fraction:
+        return self.values[-1]
+
+
+def mantissa_error_bits(approx: Fraction, exact: Fraction) -> float:
+    """Relative error expressed in *mantissa bits*: ``-log2(|rel err|)``
+    is the number of correct bits; this returns the number of *wrong*
+    trailing bits of a 52-bit mantissa, the quantity plotted in Fig. 14.
+
+    Returns 0.0 for an exact match and 52.0 if nothing is correct (or the
+    exact value is zero while the approximation is not).
+    """
+    import math
+
+    if approx == exact:
+        return 0.0
+    if exact == 0:
+        return 52.0
+    rel = abs(approx - exact) / abs(exact)
+    correct_bits = -math.log2(float(rel)) if rel > 0 else 52.0
+    wrong = 52.0 - correct_bits
+    return min(max(wrong, 0.0), 52.0)
+
+
+def ulp_error(value: FPValue, exact: Fraction) -> Fraction:
+    """Error of ``value`` against ``exact`` in units of ``value``'s ULP.
+
+    Only defined for finite values; a zero ``value`` uses the ULP of the
+    smallest normal of its format.
+    """
+    fmt: FloatFormat = value.fmt
+    if value.is_normal:
+        ulp_exp = value.unbiased_exponent - fmt.fraction_bits
+    elif value.is_zero:
+        ulp_exp = (1 - fmt.bias) - fmt.fraction_bits
+    else:
+        raise ValueError("ulp_error of a non-finite value")
+    ulp = Fraction(1 << ulp_exp) if ulp_exp >= 0 else Fraction(
+        1, 1 << (-ulp_exp))
+    approx = value.to_fraction()
+    return abs(approx - exact) / ulp
+
+
+def run_recurrence_exact(b1: Sequence[float], b2: Sequence[float],
+                         x0: Sequence[float], steps: int) -> list[Fraction]:
+    """Exact evaluation of the Fig. 14 recurrence
+    ``x[n] = B1[n]*x[n-1] + B2[n]*x[n-2] + x[n-3]``.
+
+    ``b1``/``b2`` supply one coefficient pair per step; ``x0`` gives the
+    three seed values ``x[0], x[1], x[2]``.  Returns the full exact
+    trajectory ``[x[0], ..., x[steps+2]]``.
+    """
+    xs: list[Fraction] = [Fraction(v) for v in x0]
+    for n in range(steps):
+        r = (Fraction(b1[n]) * xs[-1] + Fraction(b2[n]) * xs[-2] + xs[-3])
+        xs.append(r)
+    return xs
+
+
+__all__.append("run_recurrence_exact")

@@ -1,0 +1,120 @@
+"""Rounding modes and integer/rational rounding primitives.
+
+Everything in the reproduction ultimately rounds an *exact* value (a
+``Fraction`` or a scaled integer) to a given number of significand bits.
+Centralizing the rounding logic here keeps the discrete IEEE operators
+(:mod:`repro.fp.ops`), the FMA datapath models (:mod:`repro.fma`) and the
+format converters bit-for-bit consistent.
+
+The paper's FMA units use *round half away from zero* between fused
+operators (Sec. III-C: a single extra mantissa bit suffices to transfer
+the rounding information), while the IEEE baselines use the default
+*round to nearest, ties to even*.
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+
+__all__ = [
+    "RoundingMode",
+    "round_scaled",
+    "round_fraction_to_int",
+    "shift_right_round",
+]
+
+
+class RoundingMode(enum.Enum):
+    """Supported rounding modes.
+
+    * ``NEAREST_EVEN`` -- IEEE 754 default (roundTiesToEven).
+    * ``HALF_AWAY`` -- round half away from zero; the mode the paper's
+      fused chains use because it needs only a single extra transferred
+      bit (Sec. III-C).
+    * ``TRUNCATE`` -- round toward zero (the "tempting to eliminate
+      rounding entirely" option the paper rejects for the solvers).
+    * ``TO_POS_INF`` / ``TO_NEG_INF`` -- directed modes, included for
+      completeness of the operator library.
+    """
+
+    NEAREST_EVEN = "nearest-even"
+    HALF_AWAY = "half-away-from-zero"
+    TRUNCATE = "truncate"
+    TO_POS_INF = "to-positive-infinity"
+    TO_NEG_INF = "to-negative-infinity"
+
+
+def _round_nonneg_q(int_part: int, rem_num: int, rem_den: int,
+                    mode: RoundingMode, negative: bool) -> int:
+    """Round ``int_part + rem_num/rem_den`` (0 <= rem_num < rem_den) of a
+    value whose overall sign is given by ``negative`` (the magnitude is the
+    quantity being rounded).  Returns the rounded magnitude."""
+    if rem_num == 0:
+        return int_part
+    twice = 2 * rem_num
+    if mode is RoundingMode.TRUNCATE:
+        return int_part
+    if mode is RoundingMode.NEAREST_EVEN:
+        if twice > rem_den or (twice == rem_den and (int_part & 1)):
+            return int_part + 1
+        return int_part
+    if mode is RoundingMode.HALF_AWAY:
+        if twice >= rem_den:
+            return int_part + 1
+        return int_part
+    if mode is RoundingMode.TO_POS_INF:
+        return int_part if negative else int_part + 1
+    if mode is RoundingMode.TO_NEG_INF:
+        return int_part + 1 if negative else int_part
+    raise ValueError(f"unhandled rounding mode {mode!r}")
+
+
+def round_fraction_to_int(value: Fraction, mode: RoundingMode) -> int:
+    """Round an exact rational ``value`` to an integer under ``mode``.
+
+    The result is a signed integer; directed modes honour the sign of the
+    original value (e.g. ``TO_NEG_INF`` on ``-0.5`` gives ``-1``).
+    """
+    negative = value < 0
+    mag = -value if negative else value
+    int_part = mag.numerator // mag.denominator
+    rem_num = mag.numerator - int_part * mag.denominator
+    rounded = _round_nonneg_q(int_part, rem_num, mag.denominator, mode,
+                              negative)
+    return -rounded if negative else rounded
+
+
+def round_scaled(value: Fraction, scale_exp: int,
+                 mode: RoundingMode) -> int:
+    """Round ``value / 2^scale_exp`` to an integer.
+
+    This is the workhorse for floating-point packing: to round a value to
+    a significand with ULP ``2^scale_exp``, call
+    ``round_scaled(value, scale_exp, mode)`` and use the returned integer
+    as the significand.
+    """
+    if scale_exp >= 0:
+        scaled = value / Fraction(1 << scale_exp)
+    else:
+        scaled = value * (1 << (-scale_exp))
+    return round_fraction_to_int(scaled, mode)
+
+
+def shift_right_round(significand: int, shift: int,
+                      mode: RoundingMode) -> int:
+    """Shift a signed integer significand right by ``shift`` bits with
+    rounding of the shifted-out part.
+
+    ``shift <= 0`` degenerates to a plain left shift (exact).  This models
+    the hardware guard/round/sticky path of a binary right shift without
+    materializing a Fraction.
+    """
+    if shift <= 0:
+        return significand << (-shift)
+    negative = significand < 0
+    mag = -significand if negative else significand
+    int_part = mag >> shift
+    rem = mag & ((1 << shift) - 1)
+    rounded = _round_nonneg_q(int_part, rem, 1 << shift, mode, negative)
+    return -rounded if negative else rounded

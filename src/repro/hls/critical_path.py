@@ -1,0 +1,49 @@
+"""Critical-path analysis of scheduled CDFGs (Fig. 1).
+
+The Fig. 12 pass replaces multiply/add pairs *on the critical path*; a
+node is critical when its slack -- the difference between its ALAP and
+ASAP start times -- is zero.
+"""
+
+from __future__ import annotations
+
+from .ir import CDFG
+from .operators import OperatorLibrary
+from .schedule import alap_schedule, asap_schedule
+
+__all__ = ["critical_path_length", "node_slack", "critical_nodes",
+           "longest_path_nodes"]
+
+
+def critical_path_length(graph: CDFG, library: OperatorLibrary) -> int:
+    """Latency (cycles) of the longest dependence chain."""
+    return asap_schedule(graph, library).length
+
+
+def node_slack(graph: CDFG, library: OperatorLibrary) -> dict[int, int]:
+    """Slack per node: 0 means the node is on a critical path."""
+    asap = asap_schedule(graph, library)
+    alap = alap_schedule(graph, library, asap.length)
+    return {nid: alap.start[nid] - asap.start[nid] for nid in graph.nodes}
+
+
+def critical_nodes(graph: CDFG, library: OperatorLibrary) -> set[int]:
+    """All nodes with zero slack (the bold red path of Fig. 1)."""
+    return {nid for nid, s in node_slack(graph, library).items() if s == 0}
+
+
+def longest_path_nodes(graph: CDFG, library: OperatorLibrary) -> list[int]:
+    """One concrete longest dependence chain, in execution order."""
+    asap = asap_schedule(graph, library)
+    # walk back from the sink with the latest finish time
+    end = max(asap.start, key=lambda nid: asap.finish(nid))
+    path = [end]
+    cur = end
+    while graph.nodes[cur].operands:
+        ops = graph.nodes[cur].operands
+        pred = max(ops, key=lambda op: asap.finish(op))
+        if asap.finish(pred) != asap.start[cur]:
+            break  # remaining predecessors are not on the chain
+        path.append(pred)
+        cur = pred
+    return list(reversed(path))

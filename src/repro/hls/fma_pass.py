@@ -1,0 +1,204 @@
+"""The automatic FMA-insertion compiler pass (Sec. III-I, Fig. 12).
+
+The datapath is first assembled from IEEE 754 operators and scheduled
+(Fig. 12a).  Then, repeatedly:
+
+1. the graph is searched for multiply -> add/sub pairs on the critical
+   path (zero slack);
+2. every such pair is greedily replaced by an FMA node surrounded by the
+   required IEEE <-> CS converters (Fig. 12b);
+3. redundant conversion pairs between chained FMA units are removed
+   (``i2c(c2i(x)) -> x``, Fig. 12c);
+4. the datapath is rescheduled, and the procedure repeats until no
+   further insertion can be performed.
+
+Subtractions fold into the FMA for free: ``a - b*c = a + (-b)*c`` sets
+the FMA's ``negate_b`` flag, and ``b*c - a`` negates the addend (sign
+manipulation costs nothing in either operand format).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .critical_path import node_slack
+from .ir import CDFG, OpKind
+from .operators import OperatorLibrary
+from .schedule import asap_schedule
+
+__all__ = ["FmaPassReport", "run_fma_insertion"]
+
+
+@dataclass
+class FmaPassReport:
+    """What the pass did, and what it bought (the Fig. 15 metric)."""
+
+    baseline_length: int
+    final_length: int
+    iterations: int = 0
+    fma_inserted: int = 0
+    converters_removed: int = 0
+    fma_per_round: list[int] = field(default_factory=list)
+
+    @property
+    def reduction_percent(self) -> float:
+        if self.baseline_length == 0:
+            return 0.0
+        return 100.0 * (self.baseline_length - self.final_length) \
+            / self.baseline_length
+
+
+def _find_critical_pairs(graph: CDFG, slack: dict[int, int],
+                         ) -> list[tuple[int, int, int]]:
+    """(add_id, mul_id, mul_port) for critical multiply->add/sub pairs.
+
+    The add/sub must lie on the critical path (zero slack); the
+    multiplier only needs to feed the add exclusively -- fusing helps
+    even when the product itself has timing slack, because the fused
+    unit removes the adder (and its conversions) from the chain.  When
+    both operands are single-use multiplies, the one with less slack is
+    fused (the other product stays discrete and feeds the A port).
+    """
+    pairs: list[tuple[int, int, int]] = []
+    taken: set[int] = set()
+    for nid in graph.topological_order():
+        node = graph.nodes[nid]
+        if node.kind not in (OpKind.ADD, OpKind.SUB) or slack[nid] != 0:
+            continue
+        candidates = []
+        for port, op in enumerate(node.operands):
+            pred = graph.nodes[op]
+            if pred.kind is not OpKind.MUL:
+                continue
+            if op in taken or len(graph.consumers(op)) != 1:
+                continue
+            candidates.append((slack[op], port, op))
+        if candidates:
+            candidates.sort()
+            _s, port, op = candidates[0]
+            pairs.append((nid, op, port))
+            taken.add(op)
+            taken.add(nid)
+    return pairs
+
+
+def _replace_pair(graph: CDFG, library: OperatorLibrary, add_id: int,
+                  mul_id: int, mul_port: int,
+                  ready_at: dict[int, int]) -> int:
+    """Rewrite one add/sub + mul pair into FMA + converters.
+
+    ``ready_at`` caches the round-start ASAP finish times; nodes created
+    during the round (converted-back FMA results) are treated as
+    latest-ready so chains fuse through them.  Returns the new FMA node.
+    """
+    add_node = graph.nodes[add_id]
+    mul_node = graph.nodes[mul_id]
+    other_port = 1 - mul_port
+    addend = add_node.operands[other_port]
+
+    negate_b = False
+    if add_node.kind is OpKind.SUB:
+        if mul_port == 1:
+            # a - b*c  ->  a + (-b)*c
+            negate_b = True
+        else:
+            # b*c - a  ->  (-a) + b*c
+            addend = graph.add_op(OpKind.NEG, addend)
+
+    # pick the C (carry-save) input of the multiplier: the operand that
+    # becomes ready later is the chain-critical one; ties prefer a
+    # converted-back FMA result so the cleanup can fuse the chain
+    late = 1 << 30
+    m_ops = mul_node.operands
+    readiness = []
+    for op in m_ops:
+        r = ready_at.get(op, late)
+        if graph.nodes[op].kind is OpKind.C2I:
+            r = max(r + 1, late)  # prefer chaining via FMA results
+        readiness.append(r)
+    c_idx = 0 if readiness[0] >= readiness[1] else 1
+    c_op = m_ops[c_idx]
+    b_op = m_ops[1 - c_idx]
+
+    a_cs = graph.add_op(OpKind.I2C, addend)
+    c_cs = graph.add_op(OpKind.I2C, c_op)
+    fma = graph.add_op(OpKind.FMA, a_cs, b_op, c_cs,
+                       name=add_node.name or "fma", negate_b=negate_b)
+    out = graph.add_op(OpKind.C2I, fma)
+
+    consumers = {cid for cid, _ in graph.consumers(add_id)}
+    graph.rewire(add_id, out, only=consumers)
+    graph.remove(add_id)
+    graph.remove(mul_id)
+    return fma
+
+
+def _remove_redundant_converters(graph: CDFG) -> int:
+    """Fig. 12c: collapse ``i2c(c2i(x))`` chains so CS values flow
+    directly between FMA units; drop dead converters."""
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for nid in list(graph.nodes):
+            node = graph.nodes.get(nid)
+            if node is None or node.kind is not OpKind.I2C:
+                continue
+            src = graph.nodes[node.operands[0]]
+            if src.kind is OpKind.C2I:
+                graph.rewire(nid, src.operands[0])
+                graph.remove(nid)
+                removed += 1
+                changed = True
+        # dead C2I nodes (their only consumers were removed I2Cs)
+        fanout: dict[int, int] = {nid: 0 for nid in graph.nodes}
+        for n in graph.nodes.values():
+            for op in n.operands:
+                fanout[op] += 1
+        for nid in list(graph.nodes):
+            node = graph.nodes.get(nid)
+            if node is not None and node.kind is OpKind.C2I and \
+                    fanout[nid] == 0:
+                graph.remove(nid)
+                removed += 1
+                changed = True
+    return removed
+
+
+def run_fma_insertion(graph: CDFG, library: OperatorLibrary,
+                      max_rounds: int = 64) -> FmaPassReport:
+    """Run the Fig. 12 pass to fixpoint on ``graph`` (in place)."""
+    report = FmaPassReport(
+        baseline_length=asap_schedule(graph, library).length,
+        final_length=0,
+    )
+    for _ in range(max_rounds):
+        slack = node_slack(graph, library)
+        pairs = _find_critical_pairs(graph, slack)
+        if not pairs:
+            break
+        report.iterations += 1
+        inserted = 0
+        round_asap = asap_schedule(graph, library)
+        ready_at = {nid: round_asap.finish(nid)
+                    for nid in round_asap.start}
+        for add_id, mul_id, mul_port in pairs:
+            # earlier replacements in this round may have consumed nodes
+            if add_id not in graph.nodes or mul_id not in graph.nodes:
+                continue
+            if graph.nodes[mul_id].kind is not OpKind.MUL:
+                continue
+            if mul_id not in graph.nodes[add_id].operands:
+                continue
+            _replace_pair(graph, library, add_id, mul_id, mul_port,
+                          ready_at)
+            inserted += 1
+        report.fma_inserted += inserted
+        report.fma_per_round.append(inserted)
+        report.converters_removed += _remove_redundant_converters(graph)
+        graph.prune_dead()
+        if inserted == 0:  # pragma: no cover - defensive
+            break
+    graph.validate()
+    report.final_length = asap_schedule(graph, library).length
+    return report

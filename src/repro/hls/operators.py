@@ -1,0 +1,121 @@
+"""Operator library: latency/area of every schedulable operation.
+
+The latencies come straight out of the hardware model of
+:mod:`repro.hw`, synthesized for the paper's 200+ MHz constraint on
+Virtex-6 (Sec. IV-D: "floating-point operators have been chosen for a
+target frequency of 200+ MHz"):
+
+* IEEE multiply: the CoreGen low-latency 5-cycle configuration,
+* IEEE add/sub:  the CoreGen low-latency 4-cycle configuration,
+* IEEE divide:   a radix-2 SRT pipeline (deep -- divisions live in the
+  solver's factorization phase, not in `ldlsolve()`),
+* PCS-FMA: 5 cycles,  FCS-FMA: 3 cycles (Table I),
+* IEEE->CS converter: cheap (1 cycle),  CS->IEEE: expensive (its full
+  normalization pipeline),
+* NEG / CONST / IO: free (sign flips and wiring).
+
+Resource constraints model the time-multiplexing of Fig. 15 ("up to 39
+time-multiplexed P/FCS-FMA units").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.netlist import (cs_to_ieee_converter, divider_design,
+                          ieee_to_cs_converter)
+from ..hw.synthesis import synthesize, synthesize_by_name
+from ..hw.technology import VIRTEX6, FpgaDevice
+from .ir import Node, OpKind
+
+__all__ = ["OperatorSpec", "OperatorLibrary", "default_library"]
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """Latency and area of one hardware operator."""
+
+    kind: str
+    latency: int
+    luts: int = 0
+    dsps: int = 0
+
+
+@dataclass
+class OperatorLibrary:
+    """Maps CDFG node kinds to operator specs + resource limits.
+
+    ``fma_flavor`` selects which carry-save unit the FMA nodes map to
+    (``"pcs"`` or ``"fcs"``); ``fma_limit`` caps how many physical FMA
+    units the scheduler may use concurrently (None = unconstrained).
+    """
+
+    specs: dict[str, OperatorSpec]
+    fma_flavor: str = "pcs"
+    fma_limit: int | None = None
+    #: per-op-class concurrency limits for the list scheduler
+    limits: dict[str, int] = field(default_factory=dict)
+
+    def latency(self, node: Node) -> int:
+        return self.spec_for(node).latency
+
+    def spec_for(self, node: Node) -> OperatorSpec:
+        key = self.resource_class(node)
+        if key is None:
+            return OperatorSpec("free", 0)
+        return self.specs[key]
+
+    def resource_class(self, node: Node) -> str | None:
+        """Which physical operator pool a node occupies (None = wiring)."""
+        k = node.kind
+        if k in (OpKind.INPUT, OpKind.CONST, OpKind.OUTPUT, OpKind.NEG):
+            return None
+        if k is OpKind.FMA:
+            return f"fma-{self.fma_flavor}"
+        if k in (OpKind.ADD, OpKind.SUB):
+            return "add"
+        if k is OpKind.MUL:
+            return "mul"
+        if k is OpKind.DIV:
+            return "div"
+        if k is OpKind.I2C:
+            return "i2c"
+        if k is OpKind.C2I:
+            return "c2i"
+        raise KeyError(f"no operator for {k}")
+
+    def limit_for(self, resource: str) -> int | None:
+        if resource.startswith("fma"):
+            return self.fma_limit
+        return self.limits.get(resource)
+
+
+def default_library(device: FpgaDevice = VIRTEX6,
+                    fma_flavor: str = "pcs",
+                    fma_limit: int | None = None,
+                    target_mhz: float = 200.0) -> OperatorLibrary:
+    """Build the operator library from the hardware model."""
+    if fma_flavor not in ("pcs", "fcs"):
+        raise ValueError("fma_flavor must be 'pcs' or 'fcs'")
+    from ..fma.formats import FCS_PARAMS, PCS_PARAMS
+
+    params = PCS_PARAMS if fma_flavor == "pcs" else FCS_PARAMS
+    mul = synthesize_by_name("coregen-mul", device, target_mhz)
+    add = synthesize_by_name("coregen-add", device, target_mhz)
+    fma = synthesize_by_name(f"{fma_flavor}-fma", device, target_mhz)
+    div = synthesize(divider_design(device), device, target_mhz)
+    i2c = synthesize(ieee_to_cs_converter(device, params), device,
+                     target_mhz)
+    c2i = synthesize(cs_to_ieee_converter(device, params), device,
+                     target_mhz)
+    specs = {
+        "mul": OperatorSpec("mul", mul.cycles, mul.luts, mul.dsps),
+        "div": OperatorSpec("div", div.cycles, div.luts, div.dsps),
+        "add": OperatorSpec("add", add.cycles, add.luts, add.dsps),
+        f"fma-{fma_flavor}": OperatorSpec(
+            f"fma-{fma_flavor}", fma.cycles, fma.luts, fma.dsps),
+        "i2c": OperatorSpec("i2c", i2c.cycles, i2c.luts, i2c.dsps),
+        "c2i": OperatorSpec("c2i", c2i.cycles, c2i.luts, c2i.dsps),
+    }
+    return OperatorLibrary(specs, fma_flavor=fma_flavor,
+                           fma_limit=fma_limit)

@@ -1,0 +1,36 @@
+"""FPGA technology / synthesis-estimate substrate.
+
+Regenerates the paper's hardware numbers from a component-level model:
+Table I (fmax/cycles/LUTs/DSPs), Fig. 13 (latency per multiply-add) and
+Table II (energy per operation), calibrated against the timing data
+points the paper itself publishes (see DESIGN.md).
+"""
+
+from .components import (Component, dsp_tiles, karatsuba_dsps,
+                         lut_levels_for_mux, truncated_dsp_tiles)
+from .energy import (EnergyReport, estimate_energy, glitch_factor,
+                     measure_toggle_activity)
+from .netlist import (UnitDesign, classic_fma_design, coregen_adder,
+                      coregen_mul_add, coregen_multiplier,
+                      cs_to_ieee_converter, design_by_name,
+                      divider_design, fcs_fma_design, flopoco_fppipeline,
+                      ieee_to_cs_converter, pcs_fma_design)
+from .pipeline import Pipeline, cut_pipeline, cut_pipeline_fixed
+from .synthesis import SynthesisReport, synthesize, synthesize_by_name
+from .technology import (VIRTEX5, VIRTEX6, VIRTEX7, FpgaDevice,
+                         device_by_name)
+
+__all__ = [
+    "FpgaDevice", "VIRTEX5", "VIRTEX6", "VIRTEX7", "device_by_name",
+    "Component", "dsp_tiles", "karatsuba_dsps", "truncated_dsp_tiles",
+    "lut_levels_for_mux",
+    "UnitDesign", "design_by_name", "coregen_multiplier", "coregen_adder",
+    "coregen_mul_add", "flopoco_fppipeline", "classic_fma_design",
+    "pcs_fma_design", "fcs_fma_design", "divider_design",
+    "ieee_to_cs_converter",
+    "cs_to_ieee_converter",
+    "Pipeline", "cut_pipeline", "cut_pipeline_fixed",
+    "SynthesisReport", "synthesize", "synthesize_by_name",
+    "EnergyReport", "estimate_energy", "glitch_factor",
+    "measure_toggle_activity",
+]

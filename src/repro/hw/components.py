@@ -1,0 +1,314 @@
+"""Hardware component library: delay / LUT / DSP / FF cost per block.
+
+Every datapath block that appears in one of the FMA architectures (or in
+the baseline IP cores) is modeled as a :class:`Component` with a delay on
+the given device, a LUT/DSP footprint and a register width (used by the
+pipeline cutter for FF accounting and by the energy model for clock/FF
+energy).
+
+Cost formulas are first-principles FPGA estimates (one LUT6 per 3:2
+compressor bit, ``ceil(log4)`` levels per wide multiplexer, DSP tile
+counts from the 24x17 unsigned tiling of the DSP48E1), with the absolute
+scale calibrated once against the paper's Table I (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .technology import FpgaDevice
+
+__all__ = [
+    "Component",
+    "lut_levels_for_mux",
+    "dsp_tiles",
+    "karatsuba_dsps",
+    "truncated_dsp_tiles",
+    "make_csa_tree",
+    "make_adder",
+    "make_csa_level",
+    "make_mux",
+    "make_shifter",
+    "make_lza",
+    "make_zero_detect",
+    "make_rounder",
+    "make_dsp_mult_stage",
+    "make_dsp_cascade",
+    "make_dsp_preadd",
+    "make_unpack",
+    "make_pack",
+    "make_exponent_logic",
+    "make_logic",
+]
+
+
+@dataclass(frozen=True)
+class Component:
+    """One combinational datapath block.
+
+    ``delay_ns`` is the block's contribution to the critical path;
+    blocks documented by the paper as running *in parallel* with the
+    critical path (the pre-shifter, A's rounding unit, the early LZA)
+    appear in a unit's off-path list with their area/energy only.
+    """
+
+    name: str
+    delay_ns: float
+    luts: int
+    dsps: int = 0
+    reg_bits: int = 0        # output register width when a cut lands here
+    toggle_bits: int = 0     # signal width for the activity model
+
+    def scaled(self, factor: float) -> "Component":
+        return Component(self.name, self.delay_ns * factor, self.luts,
+                         self.dsps, self.reg_bits, self.toggle_bits)
+
+
+def lut_levels_for_mux(inputs: int) -> int:
+    """LUT levels for an N-to-1 one-bit multiplexer.
+
+    Virtex-class slices combine four LUT6 through the F7/F8 muxes into an
+    8:1 select per logic level."""
+    if inputs <= 1:
+        return 0
+    return max(1, math.ceil(math.log(inputs, 8)))
+
+
+def dsp_tiles(wa: int, wb: int, device: FpgaDevice) -> int:
+    """DSP blocks for a full ``wa x wb`` unsigned multiplier.
+
+    The DSP48E1 multiplies 25x18 *signed*; unsigned tiling uses 24x17
+    tiles.  One extra DSP absorbs the final partial-product accumulation
+    (the Xilinx CoreGen "full usage" configuration).  Binary64 (53x53)
+    gives 3*4 + 1 = 13 DSPs -- the Table I CoreGen figure; the PCS-FMA's
+    53x110 multiplier gives 4*5 + 1 = 21.
+    """
+    ta = math.ceil(wa / (device.dsp_a_width - 1))
+    tb = math.ceil(wb / (device.dsp_b_width - 1))
+    return ta * tb + 1
+
+
+def karatsuba_dsps(w: int, device: FpgaDevice) -> int:
+    """DSP blocks for a Karatsuba-decomposed squarish multiplier
+    (FloPoCo's DSP-saving strategy [11]): a k-way split needs
+    ``k*(k+1)/2`` sub-products plus one accumulation DSP.  53x53 with
+    k = ceil(53/18) = 3 gives 7 -- the Table I FloPoCo figure."""
+    k = math.ceil(w / device.dsp_b_width)
+    return k * (k + 1) // 2 + 1
+
+
+def truncated_dsp_tiles(wa: int, wb: int, device: FpgaDevice) -> int:
+    """DSP blocks for the FCS multiplier (CS-form output, truncated).
+
+    Full tiling minus one tile column: the least-significant column's
+    output lies entirely below the kept rounding-data block and is
+    replaced by a constant correction; and because the product *stays in
+    carry-save form* (it feeds the CS window directly), no final
+    accumulation DSP is needed.  53x87 gives 4*4 - 4 = 12 -- the
+    Table I FCS figure."""
+    ta = math.ceil(wa / (device.dsp_a_width - 1))
+    tb = math.ceil(wb / (device.dsp_b_width - 1))
+    return max(ta * tb - tb, 1)
+
+
+# ---------------------------------------------------------------------------
+# component factories
+# ---------------------------------------------------------------------------
+
+def make_adder(width: int, device: FpgaDevice,
+               name: str | None = None) -> Component:
+    """A carry-chain ripple adder (the calibrated delay model)."""
+    return Component(
+        name or f"add{width}",
+        delay_ns=device.adder_comb_ns(width),
+        luts=width,
+        reg_bits=width + 1,
+        toggle_bits=width,
+    )
+
+
+def make_csa_level(width: int, device: FpgaDevice,
+                   name: str | None = None) -> Component:
+    """One 3:2 compressor level across ``width`` bits (one LUT6/bit)."""
+    return Component(
+        name or f"csa{width}",
+        delay_ns=device.lut_level_ns,
+        luts=width,
+        reg_bits=2 * width,
+        toggle_bits=2 * width,
+    )
+
+
+def make_mux(inputs: int, width: int, device: FpgaDevice,
+             name: str | None = None) -> Component:
+    """N-to-1 multiplexer, ``width`` bits wide.
+
+    Wide multiplexers pay a routing/fan-out penalty proportional to the
+    bus width -- the "routing difficulties" that forced the paper's FCS
+    unit down to three 29c blocks (Sec. III-H).
+    """
+    levels = lut_levels_for_mux(inputs)
+    routing = 0.0032 * width * max(1, levels)
+    return Component(
+        name or f"mux{inputs}x{width}",
+        delay_ns=levels * device.lut_level_ns + routing,
+        luts=width * max(1, (inputs - 1) // 2),
+        reg_bits=width,
+        toggle_bits=width,
+    )
+
+
+def make_shifter(width: int, positions: int, device: FpgaDevice,
+                 name: str | None = None) -> Component:
+    """Variable-distance barrel shifter: log4(positions) mux levels.
+
+    This is the block the PCS/FCS normalization *eliminates*
+    (Sec. III-D: the MSB depends on every input bit)."""
+    levels = lut_levels_for_mux(positions)
+    return Component(
+        name or f"shift{width}x{positions}",
+        delay_ns=levels * device.lut_level_ns,
+        luts=width * levels,
+        reg_bits=width,
+        toggle_bits=width,
+    )
+
+
+def make_lza(width: int, device: FpgaDevice,
+             name: str | None = None) -> Component:
+    """Leading-zero anticipator: indicator string + priority encoder."""
+    levels = 2 + lut_levels_for_mux(width)
+    return Component(
+        name or f"lza{width}",
+        delay_ns=levels * device.lut_level_ns,
+        luts=int(2.5 * width),
+        reg_bits=math.ceil(math.log2(max(width, 2))),
+        toggle_bits=width,
+    )
+
+
+def make_zero_detect(blocks: int, block_size: int, device: FpgaDevice,
+                     name: str | None = None) -> Component:
+    """Block Zero Detector: per-block digit pattern reduction (a LUT
+    tree over 2*block_size bits, accelerated by the slice carry chains)
+    plus the block-level carry/sign lookahead (Sec. III-F / Fig. 10).
+    The paper notes this block "is now critical and determines the total
+    FMA latency"."""
+    per_block_levels = math.ceil(math.log(max(2 * block_size, 2), 8))
+    chain_levels = math.ceil(math.log(max(blocks, 2), 4))
+    levels = per_block_levels + chain_levels + 1
+    return Component(
+        name or f"zd{blocks}x{block_size}",
+        delay_ns=levels * device.lut_level_ns,
+        luts=blocks * (block_size + 20),
+        reg_bits=blocks,
+        toggle_bits=blocks * block_size,
+    )
+
+
+def make_rounder(width: int, device: FpgaDevice,
+                 name: str | None = None) -> Component:
+    """Rounding stage: decision logic plus a compound-adder select
+    (sum and sum+1 are computed side by side, the decision picks one),
+    so the delay is two LUT levels rather than another carry chain;
+    area pays for the duplicated incrementer."""
+    return Component(
+        name or f"round{width}",
+        delay_ns=2 * device.lut_level_ns,
+        luts=int(1.5 * width),
+        reg_bits=width,
+        toggle_bits=width,
+    )
+
+
+def make_dsp_mult_stage(tiles: int, device: FpgaDevice,
+                        name: str = "dsp-mult") -> Component:
+    """The DSP multiplier array stage (all tiles in parallel)."""
+    return Component(
+        name,
+        delay_ns=device.dsp_mult_ns,
+        luts=0,
+        dsps=tiles,
+        reg_bits=tiles * 43,
+        toggle_bits=tiles * 43,
+    )
+
+
+def make_dsp_cascade(hops: int, device: FpgaDevice,
+                     name: str = "dsp-cascade") -> Component:
+    """Post-adder cascade hops inside the DSP columns."""
+    return Component(
+        name,
+        delay_ns=hops * device.dsp_cascade_ns,
+        luts=0,
+        reg_bits=48,
+        toggle_bits=48 * hops,
+    )
+
+
+def make_dsp_preadd(device: FpgaDevice,
+                    name: str = "dsp-preadd") -> Component:
+    """The DSP48E1 pre-adder stage (Sec. III-H; Virtex-6 and later)."""
+    if not device.has_dsp_preadder:
+        raise ValueError(
+            f"{device.family} has no DSP pre-adder; the FCS-FMA "
+            "requires Virtex-6 or later (Sec. III-H)")
+    return Component(name, delay_ns=device.dsp_preadd_ns, luts=0,
+                     reg_bits=25, toggle_bits=25)
+
+
+def make_unpack(width: int, device: FpgaDevice,
+                name: str = "unpack") -> Component:
+    """IEEE operand unpack: implied-1 insert, exception decode."""
+    return Component(name, delay_ns=device.lut_level_ns,
+                     luts=width // 4 + 8, reg_bits=width,
+                     toggle_bits=width)
+
+
+def make_pack(width: int, device: FpgaDevice,
+              name: str = "pack") -> Component:
+    """IEEE result pack: exception encode, field assembly."""
+    return Component(name, delay_ns=device.lut_level_ns,
+                     luts=width // 4 + 8, reg_bits=width,
+                     toggle_bits=width)
+
+
+def make_exponent_logic(device: FpgaDevice,
+                        name: str = "exp-logic") -> Component:
+    """Exponent add/compare/select path (narrow, runs alongside)."""
+    return Component(name, delay_ns=device.adder_comb_ns(13),
+                     luts=48, reg_bits=13, toggle_bits=13)
+
+
+def make_logic(name: str, levels: float, luts: int, device: FpgaDevice,
+               reg_bits: int = 0, toggle_bits: int = 0) -> Component:
+    """Generic glue logic of a given LUT-level depth."""
+    return Component(name, delay_ns=levels * device.lut_level_ns,
+                     luts=luts, reg_bits=reg_bits,
+                     toggle_bits=toggle_bits or luts)
+
+
+def make_csa_tree(rows: int, width: int, device: FpgaDevice,
+                  name: str | None = None,
+                  on_path_levels: int | None = None) -> Component:
+    """A full partial-product reduction tree: ``rows-2`` compressor rows
+    of ``width`` LUTs each (one LUT6 per 3:2 compressor bit).
+
+    ``on_path_levels`` caps the *delay* contribution: DSP cascades have
+    usually absorbed most of the reduction by the time the LUT tree
+    takes over, so only the trailing levels sit on the critical path
+    while the full compressor area is paid.
+    """
+    from ..cs.csa import csa_tree_depth
+
+    depth = csa_tree_depth(rows)
+    levels = depth if on_path_levels is None else min(on_path_levels,
+                                                      depth)
+    return Component(
+        name or f"csatree{rows}x{width}",
+        delay_ns=levels * device.lut_level_ns,
+        luts=max(rows - 2, 0) * width,
+        reg_bits=2 * width,
+        toggle_bits=max(rows - 2, 0) * width,
+    )

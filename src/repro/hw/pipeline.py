@@ -1,0 +1,143 @@
+"""Pipeline cutting: turn a combinational component chain into stages.
+
+The paper's units are "manually pipelined to 200 MHz operation"
+(Sec. IV-A); the baselines come out of CoreGen/FloPoCo with a latency
+chosen to meet the same constraint.  We model this with a greedy cutter:
+walk the critical-path component chain in order and start a new stage
+whenever adding the next component would exceed the stage budget
+(target period minus register overhead).
+
+The resulting pipeline reports
+* ``cycles`` -- number of stages (the unit's latency),
+* ``fmax_mhz`` -- from the *longest* stage actually produced,
+* ``stage_delays`` -- for inspection and tests,
+* ``register_bits`` -- pipeline registers inserted (area/energy input).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .components import Component
+from .technology import FpgaDevice
+
+__all__ = ["Pipeline", "cut_pipeline", "cut_pipeline_fixed"]
+
+
+@dataclass
+class Pipeline:
+    """A pipelined realization of a component chain."""
+
+    stages: list[list[Component]] = field(default_factory=list)
+    device: FpgaDevice | None = None
+
+    @property
+    def cycles(self) -> int:
+        return len(self.stages)
+
+    @property
+    def stage_delays(self) -> list[float]:
+        return [sum(c.delay_ns for c in s) for s in self.stages]
+
+    @property
+    def critical_stage_ns(self) -> float:
+        return max(self.stage_delays) if self.stages else 0.0
+
+    @property
+    def fmax_mhz(self) -> float:
+        if not self.stages or self.device is None:
+            return float("inf")
+        return self.device.max_frequency_mhz(self.critical_stage_ns)
+
+    @property
+    def register_bits(self) -> int:
+        """Bits of pipeline registers: each stage boundary latches the
+        output register width of its last component."""
+        return sum(s[-1].reg_bits for s in self.stages if s)
+
+    def meets(self, target_mhz: float) -> bool:
+        return self.fmax_mhz >= target_mhz
+
+
+def _greedy_stage_count(delays: list[float], budget: float) -> int:
+    """Minimal number of contiguous stages with per-stage sum <= budget
+    (components longer than the budget get a stage of their own)."""
+    stages, used = 0, None
+    for d in delays:
+        if used is None or used + d > budget + 1e-9:
+            stages += 1
+            used = 0.0
+        used += d
+    return max(stages, 1)
+
+
+def _balanced_partition(delays: list[float], k: int) -> list[int]:
+    """Split the delay sequence into ``k`` contiguous stages minimizing
+    the maximum stage delay (classic linear-partition DP).  Returns the
+    end index (exclusive) of each stage."""
+    n = len(delays)
+    prefix = [0.0]
+    for d in delays:
+        prefix.append(prefix[-1] + d)
+
+    INF = float("inf")
+    # best[j][i]: minimal max-stage over the first i items in j stages
+    best = [[INF] * (n + 1) for _ in range(k + 1)]
+    cut = [[0] * (n + 1) for _ in range(k + 1)]
+    best[0][0] = 0.0
+    for j in range(1, k + 1):
+        for i in range(1, n + 1):
+            for m in range(j - 1, i):
+                cost = max(best[j - 1][m], prefix[i] - prefix[m])
+                if cost < best[j][i]:
+                    best[j][i] = cost
+                    cut[j][i] = m
+    ends: list[int] = []
+    i = n
+    for j in range(k, 0, -1):
+        ends.append(i)
+        i = cut[j][i]
+    return list(reversed(ends))
+
+
+def cut_pipeline(path: list[Component], device: FpgaDevice,
+                 target_mhz: float = 200.0) -> Pipeline:
+    """Pipeline a component chain for a target clock.
+
+    Components are atomic (a single adder or mux level is never split);
+    a component longer than the whole stage budget gets a stage of its
+    own -- exactly the situation of the un-splittable 385b adder the
+    paper uses to motivate carry-save (Sec. III-D: 8.95 ns >> the 5 ns
+    period), which then limits fmax below the target.
+
+    Modeling the paper's "manually pipelined" units: first the minimal
+    stage count that satisfies the budget is found (greedy), then the
+    chain is re-partitioned into that many stages minimizing the longest
+    stage (a designer balancing register placement by hand).  The unit's
+    achieved fmax comes from the balanced longest stage.
+    """
+    if target_mhz <= 0:
+        raise ValueError("target frequency must be positive")
+    if not path:
+        return Pipeline(device=device)
+    budget = 1000.0 / target_mhz - device.reg_overhead_ns
+    delays = [c.delay_ns for c in path]
+    k = _greedy_stage_count(delays, budget)
+    return cut_pipeline_fixed(path, device, k)
+
+
+def cut_pipeline_fixed(path: list[Component], device: FpgaDevice,
+                       cycles: int) -> Pipeline:
+    """Balance the chain into exactly ``cycles`` stages (fixed-latency
+    vendor IP configurations, e.g. the CoreGen 5-cycle multiplier)."""
+    if not path:
+        return Pipeline(device=device)
+    cycles = min(max(cycles, 1), len(path))
+    ends = _balanced_partition([c.delay_ns for c in path], cycles)
+    pipe = Pipeline(device=device)
+    start = 0
+    for end in ends:
+        if end > start:
+            pipe.stages.append(list(path[start:end]))
+        start = end
+    return pipe

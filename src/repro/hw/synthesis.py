@@ -1,0 +1,98 @@
+"""Synthesis estimation: the Table I / Fig. 13 front-end.
+
+``synthesize`` pipelines a unit design for a target clock and reports
+the quantities of the paper's Table I: achieved fmax, pipeline cycles,
+LUTs and DSP blocks.  Fig. 13's metric -- the minimum computation time
+of a single multiply-add -- is ``cycles * min clock period``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .netlist import UnitDesign, design_by_name
+from .pipeline import cut_pipeline, cut_pipeline_fixed
+from .technology import VIRTEX6, FpgaDevice
+
+__all__ = ["SynthesisReport", "synthesize", "synthesize_by_name",
+           "latency_ns"]
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """Post-'layout' summary of one unit (one row of Table I)."""
+
+    name: str
+    device: str
+    fmax_mhz: float
+    cycles: int
+    luts: int
+    dsps: int
+    register_bits: int
+    target_mhz: float
+
+    @property
+    def min_period_ns(self) -> float:
+        return 1000.0 / self.fmax_mhz
+
+    @property
+    def latency_ns(self) -> float:
+        """Fig. 13: minimum clock period times pipeline length."""
+        return self.min_period_ns * self.cycles
+
+    @property
+    def meets_target(self) -> bool:
+        return self.fmax_mhz >= self.target_mhz
+
+    def row(self) -> tuple:
+        """(architecture, fmax, cycles, LUTs, DSPs) -- Table I order."""
+        return (self.name, round(self.fmax_mhz), self.cycles,
+                self.luts, self.dsps)
+
+
+def synthesize(design: UnitDesign, device: FpgaDevice = VIRTEX6,
+               target_mhz: float = 200.0) -> SynthesisReport:
+    """Pipeline the design for the target clock and report the result.
+
+    Composites (``subunits``) are pipelined part by part: the discrete
+    CoreGen multiply-then-add has 5 + 4 cycles and runs at the fmax of
+    its slower member.  Fixed-latency vendor configurations are balanced
+    into exactly their rated stage count.
+    """
+    if design.subunits:
+        parts = [synthesize(s, device, target_mhz)
+                 for s in design.subunits]
+        return SynthesisReport(
+            name=design.name,
+            device=device.name,
+            fmax_mhz=min(p.fmax_mhz for p in parts),
+            cycles=sum(p.cycles for p in parts),
+            luts=sum(p.luts for p in parts),
+            dsps=sum(p.dsps for p in parts),
+            register_bits=sum(p.register_bits for p in parts),
+            target_mhz=target_mhz,
+        )
+    if design.fixed_cycles is not None:
+        pipe = cut_pipeline_fixed(design.path, device, design.fixed_cycles)
+    else:
+        pipe = cut_pipeline(design.path, device, target_mhz)
+    return SynthesisReport(
+        name=design.name,
+        device=device.name,
+        fmax_mhz=pipe.fmax_mhz,
+        cycles=pipe.cycles,
+        luts=design.luts + pipe.register_bits // 16,  # pipeline glue
+        dsps=design.dsps,
+        register_bits=pipe.register_bits,
+        target_mhz=target_mhz,
+    )
+
+
+def synthesize_by_name(name: str, device: FpgaDevice = VIRTEX6,
+                       target_mhz: float = 200.0) -> SynthesisReport:
+    return synthesize(design_by_name(name, device), device, target_mhz)
+
+
+def latency_ns(report: SynthesisReport) -> float:
+    """Convenience alias for the Fig. 13 metric."""
+    return report.latency_ns

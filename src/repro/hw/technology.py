@@ -1,0 +1,141 @@
+"""FPGA device timing/area/energy parameters.
+
+The paper evaluates on a Xilinx Virtex-6 (speed grade -1) with ISE 14.1
+post-layout timing.  We model the device with a small set of parameters
+calibrated against the timing data points the paper itself publishes:
+
+* an 11-bit carry-chain adder: 1.742 ns register-to-register,
+* a 5-bit adder: 1.650 ns,
+* a 385-bit adder: 8.95 ns  (all Sec. III-D/III-E).
+
+A linear carry-chain model ``d(w) = base + slope * w`` fitted through the
+11b and 385b points gives ``base = 1.530 ns``, ``slope = 0.01927 ns/bit``
+(the 5b point lands at 1.63 ns, within 1.5 % of the quoted 1.650 ns).
+
+Devices differ in the features the paper cares about: the Virtex-6/7
+DSP48E1 has the 25-bit pre-adder the FCS-FMA needs; the Virtex-5 DSP48E
+does not (Sec. III-H).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FpgaDevice", "VIRTEX5", "VIRTEX6", "VIRTEX7", "device_by_name"]
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Timing/area/energy parameters of one FPGA family + speed grade."""
+
+    name: str
+    family: str
+    # -- timing (ns) ---------------------------------------------------
+    lut_level_ns: float          # one LUT6 + average local route
+    carry_base_ns: float         # carry-chain adder: base term
+    carry_per_bit_ns: float      # carry-chain adder: per-bit term
+    dsp_mult_ns: float           # DSP multiplier array (unregistered)
+    dsp_cascade_ns: float        # one DSP post-adder cascade hop
+    dsp_preadd_ns: float         # DSP pre-adder stage (0 if absent)
+    reg_overhead_ns: float       # clk->q + setup + clock skew
+    # -- features --------------------------------------------------------
+    has_dsp_preadder: bool
+    dsp_a_width: int             # DSP multiplier port widths (signed)
+    dsp_b_width: int
+    # -- energy (pJ) -----------------------------------------------------
+    lut_toggle_pj: float         # dynamic energy per LUT output toggle
+    ff_toggle_pj: float          # per flip-flop toggle
+    dsp_op_pj: float             # per DSP multiply-accumulate operation
+    net_toggle_pj: float         # long-net routing energy per wire toggle
+    clock_pj_per_ff: float       # clock-tree energy per FF per cycle
+
+    # -- derived helpers ------------------------------------------------
+
+    def adder_regreg_ns(self, width: int) -> float:
+        """Register-to-register delay of a ``width``-bit carry-chain
+        adder (the quantity the paper quotes)."""
+        return self.carry_base_ns + self.carry_per_bit_ns * width
+
+    def adder_comb_ns(self, width: int) -> float:
+        """Combinational-only adder delay."""
+        return self.adder_regreg_ns(width) - self.reg_overhead_ns
+
+    def max_frequency_mhz(self, critical_path_ns: float) -> float:
+        """Clock limit for a stage with the given combinational delay."""
+        return 1000.0 / (critical_path_ns + self.reg_overhead_ns)
+
+
+#: Virtex-5: DSP48E without pre-adder -- the PCS-FMA's porting target.
+VIRTEX5 = FpgaDevice(
+    name="virtex5",
+    family="Virtex-5",
+    lut_level_ns=1.00,
+    carry_base_ns=1.60,
+    carry_per_bit_ns=0.0215,
+    dsp_mult_ns=2.95,
+    dsp_cascade_ns=1.95,
+    dsp_preadd_ns=0.0,
+    reg_overhead_ns=0.55,
+    has_dsp_preadder=False,
+    dsp_a_width=25,
+    dsp_b_width=18,
+    lut_toggle_pj=0.22,
+    ff_toggle_pj=0.06,
+    dsp_op_pj=7.0,
+    net_toggle_pj=3.4,
+    clock_pj_per_ff=0.035,
+)
+
+#: Virtex-6 speed grade -1: the paper's evaluation device.  Carry-chain
+#: parameters calibrated to the paper's own adder measurements.
+VIRTEX6 = FpgaDevice(
+    name="virtex6",
+    family="Virtex-6",
+    lut_level_ns=0.90,
+    carry_base_ns=1.530,
+    carry_per_bit_ns=0.019273,
+    dsp_mult_ns=2.65,
+    dsp_cascade_ns=1.75,
+    dsp_preadd_ns=1.00,
+    reg_overhead_ns=0.50,
+    has_dsp_preadder=True,
+    dsp_a_width=25,
+    dsp_b_width=18,
+    lut_toggle_pj=0.20,
+    ff_toggle_pj=0.05,
+    dsp_op_pj=6.0,
+    net_toggle_pj=3.0,
+    clock_pj_per_ff=0.030,
+)
+
+#: Virtex-7: same architecture generation as Virtex-6, slightly faster.
+VIRTEX7 = FpgaDevice(
+    name="virtex7",
+    family="Virtex-7",
+    lut_level_ns=0.80,
+    carry_base_ns=1.38,
+    carry_per_bit_ns=0.0174,
+    dsp_mult_ns=2.40,
+    dsp_cascade_ns=1.60,
+    dsp_preadd_ns=0.90,
+    reg_overhead_ns=0.45,
+    has_dsp_preadder=True,
+    dsp_a_width=25,
+    dsp_b_width=18,
+    lut_toggle_pj=0.18,
+    ff_toggle_pj=0.045,
+    dsp_op_pj=5.5,
+    net_toggle_pj=2.7,
+    clock_pj_per_ff=0.027,
+)
+
+_DEVICES = {d.name: d for d in (VIRTEX5, VIRTEX6, VIRTEX7)}
+
+
+def device_by_name(name: str) -> FpgaDevice:
+    """Look up a device model by canonical name."""
+    try:
+        return _DEVICES[name]
+    except KeyError:
+        raise KeyError(f"unknown device {name!r}; known: "
+                       f"{sorted(_DEVICES)}") from None

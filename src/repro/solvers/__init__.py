@@ -1,0 +1,31 @@
+"""CVXGEN-like convex-solver substrate.
+
+Trajectory-planning QPs (:mod:`~repro.solvers.qp`), KKT assembly
+(:mod:`~repro.solvers.kkt`), static-order sparse LDL^T with symbolic
+analysis (:mod:`~repro.solvers.ldl`), straight-line `ldlsolve()` code
+generation (:mod:`~repro.solvers.codegen`) and a primal-dual
+interior-point solver that can run its solve phase through the
+generated kernel with carry-save FMA arithmetic
+(:mod:`~repro.solvers.ipm`).
+"""
+
+from .codegen import (FactorKernel, SolverKernel, generate_factor_kernel,
+                      generate_kernel, generate_ldlfactor_source,
+                      generate_ldlsolve_source)
+from .ipm import IPMResult, InteriorPointSolver, KernelBackend
+from .mpc import MPCController, MPCStep, simulate_closed_loop
+from .kkt import assemble_kkt, kkt_dimension, kkt_sparsity
+from .ldl import (SymbolicLDL, ldl_solve, ldl_solve_dense, min_degree_order,
+                  numeric_ldl, symbolic_ldl)
+from .qp import BENCHMARK_SIZES, QPProblem, trajectory_problem
+
+__all__ = [
+    "QPProblem", "trajectory_problem", "BENCHMARK_SIZES",
+    "assemble_kkt", "kkt_dimension", "kkt_sparsity",
+    "SymbolicLDL", "symbolic_ldl", "numeric_ldl", "ldl_solve",
+    "ldl_solve_dense", "min_degree_order",
+    "SolverKernel", "generate_ldlsolve_source", "generate_kernel",
+    "FactorKernel", "generate_ldlfactor_source", "generate_factor_kernel",
+    "IPMResult", "InteriorPointSolver", "KernelBackend",
+    "MPCController", "MPCStep", "simulate_closed_loop",
+]

@@ -1,0 +1,55 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.fp import BINARY64, FPValue
+
+# A leaner default profile so the full property suite stays fast; the
+# invariants here are exercised with hundreds of examples each, which in
+# practice has been enough to find every seeded bug.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+def bits_to_float(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits))[0]
+
+
+@st.composite
+def normal_doubles(draw, min_exp: int = -900, max_exp: int = 900):
+    """Finite normal binary64 values with bounded exponent.
+
+    The exponent bound keeps products/sums inside the normal range so
+    tests don't conflate flush-to-zero/overflow policy with the property
+    under test (separate tests cover those edges).
+    """
+    sign = draw(st.booleans())
+    exp = draw(st.integers(min_exp, max_exp))
+    frac = draw(st.integers(0, (1 << 52) - 1))
+    x = math.ldexp(1.0 + frac / (1 << 52), exp)
+    return -x if sign else x
+
+
+@st.composite
+def normal_fpvalues(draw, min_exp: int = -900, max_exp: int = 900):
+    return FPValue.from_float(draw(normal_doubles(min_exp, max_exp)),
+                              BINARY64)
+
+
+@st.composite
+def cs_words(draw, max_width: int = 128):
+    """(sum, carry, width) triples for CSNumber construction."""
+    width = draw(st.integers(2, max_width))
+    s = draw(st.integers(0, (1 << width) - 1))
+    c = draw(st.integers(0, (1 << width) - 1))
+    return s, c, width

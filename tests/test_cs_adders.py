@@ -1,0 +1,87 @@
+"""Unit + property tests for repro.cs.adders (carry reduce etc.)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from conftest import cs_words
+from repro.cs import (CSNumber, carry_reduce, chunked_add, cs_to_binary,
+                      cs_to_signed, pre_adder_combine)
+
+
+class TestCarryReduce:
+    @given(cs_words(max_width=130), st.integers(1, 16))
+    def test_value_preserved(self, sc, chunk):
+        s, c, w = sc
+        cs = CSNumber(s, c, w)
+        red = carry_reduce(cs, chunk)
+        assert red.value == cs.value
+
+    @given(cs_words(max_width=130), st.integers(2, 16))
+    def test_output_is_pcs(self, sc, chunk):
+        s, c, w = sc
+        red = carry_reduce(CSNumber(s, c, w), chunk)
+        # carries only at chunk boundaries
+        for i in range(w):
+            if (red.carry >> i) & 1:
+                assert i % chunk == 0 and i > 0
+
+    def test_paper_width_reduction(self):
+        # Sec. III-E: a 385b sum with 384b of carries reduces to 385b
+        # sum + 35 carry bits with 11-bit chunks.
+        import random
+        rng = random.Random(1)
+        s = rng.getrandbits(385)
+        c = rng.getrandbits(384) << 1  # carries anywhere above bit 0
+        red = carry_reduce(CSNumber(s, c, 385), 11)
+        assert red.value == s + c
+        assert red.carry_bit_count <= 35 + 1  # + guard position
+
+    def test_chunk_validation(self):
+        with pytest.raises(ValueError):
+            carry_reduce(CSNumber(0, 0, 8), 0)
+
+    @given(cs_words(max_width=100))
+    def test_idempotent_on_second_pass(self, sc):
+        s, c, w = sc
+        first = carry_reduce(CSNumber(s, c, w), 11)
+        second = carry_reduce(CSNumber(first.sum,
+                                       first.carry & ((1 << w) - 1), w), 11)
+        assert second.value + (((first.carry >> w) & 1) << w) == \
+            CSNumber(s, c, w).value
+
+
+class TestChunkedAdd:
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1),
+           st.integers(1, 16))
+    def test_value(self, a, b, chunk):
+        s, c = chunked_add(a, b, 64, chunk)
+        assert s + c == a + b
+
+    def test_single_chunk_is_full_add(self):
+        s, c = chunked_add(0xFF, 0x01, 8, 8)
+        assert s == 0 and c == 0x100
+
+
+class TestCollapse:
+    @given(cs_words())
+    def test_cs_to_binary(self, sc):
+        s, c, w = sc
+        assert cs_to_binary(CSNumber(s, c, w)) == s + c
+
+    @given(cs_words())
+    def test_cs_to_signed_matches_signed_value(self, sc):
+        s, c, w = sc
+        n = CSNumber(s, c, w)
+        assert cs_to_signed(n) == n.signed_value()
+
+    @given(cs_words())
+    def test_pre_adder_combine_matches_full_add(self, sc):
+        # The DSP48E1 pre-adder path converts blocks to plain binary with
+        # the same numeric result as a full add (Sec. III-H).
+        s, c, w = sc
+        n = CSNumber(s, c, w)
+        assert pre_adder_combine(n, 23) == s + c
+
+    def test_pre_adder_validates_chunk(self):
+        with pytest.raises(ValueError):
+            pre_adder_combine(CSNumber(0, 0, 8), 0)

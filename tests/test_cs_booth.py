@@ -1,0 +1,83 @@
+"""Tests for radix-4 Booth recoding (repro.cs.booth)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cs import csa_tree_depth
+from repro.cs.booth import (booth_digits, booth_multiply, booth_row_count,
+                            booth_rows, compare_tree_heights)
+from repro.cs.multiplier import multiply_mantissa
+
+
+def signed_of(word: int, width: int) -> int:
+    return word - (1 << width) if (word >> (width - 1)) else word
+
+
+class TestRecoding:
+    @given(st.integers(1, 64), st.data())
+    def test_digits_sum_to_value(self, w, data):
+        b = data.draw(st.integers(0, (1 << w) - 1))
+        digits = booth_digits(b, w)
+        assert sum(d * 4 ** k for k, d in enumerate(digits)) == b
+
+    @given(st.integers(1, 64), st.data())
+    def test_digit_range(self, w, data):
+        b = data.draw(st.integers(0, (1 << w) - 1))
+        assert all(-2 <= d <= 2 for d in booth_digits(b, w))
+
+    def test_known_values(self):
+        assert booth_digits(0, 4) == [0]
+        assert booth_digits(6, 4) == [-2, 2]     # 6 = -2 + 2*4
+        assert booth_digits(15, 4) == [-1, 0, 1]  # 15 = -1 + 16
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            booth_digits(16, 4)
+
+
+class TestBoothMultiply:
+    @given(st.integers(2, 53), st.integers(2, 80), st.data())
+    def test_matches_simple_multiplier(self, bw, cw, data):
+        b = data.draw(st.integers(0, (1 << bw) - 1))
+        c = data.draw(st.integers(0, (1 << cw) - 1))
+        neg = data.draw(st.booleans())
+        ru = data.draw(st.booleans())
+        simple = multiply_mantissa(b, bw, c, cw, negate=neg,
+                                   round_up_c=ru)
+        booth = booth_multiply(b, bw, c, cw, negate=neg, round_up_c=ru)
+        W = bw + cw
+        assert (booth.signed_value() - simple.signed_value()) % (1 << W) \
+            == 0
+
+    @given(st.integers(2, 30), st.data())
+    def test_exact_in_wide_window(self, bw, data):
+        b = data.draw(st.integers(0, (1 << bw) - 1))
+        c = data.draw(st.integers(0, (1 << 20) - 1))
+        r = booth_multiply(b, bw, c, 20, out_width=bw + 20 + 4)
+        assert r.signed_value() == b * signed_of(c, 20)
+
+    def test_rows_value(self):
+        rows = booth_rows(13, 4, 7, 8, 16)
+        total = sum(rows) % (1 << 16)
+        assert total == (13 * 7) % (1 << 16)
+
+
+class TestTreeHeightAblation:
+    def test_row_halving(self):
+        # 53 rows -> 28 rows for the binary64 multiplicand
+        assert booth_row_count(53) == 28
+
+    def test_levels_saved_for_binary64(self):
+        cmp53 = compare_tree_heights(53)
+        assert cmp53.simple_depth == csa_tree_depth(53) == 9
+        assert cmp53.booth_depth == csa_tree_depth(28) == 7
+        assert cmp53.levels_saved == 2
+
+    @given(st.integers(4, 120))
+    def test_booth_never_deeper(self, w):
+        cmp_ = compare_tree_heights(w)
+        assert cmp_.booth_depth <= cmp_.simple_depth
+
+    def test_reported_rows_match_formula(self):
+        r = booth_multiply((1 << 53) - 1, 53, 12345, 110)
+        assert r.rows == booth_row_count(53)

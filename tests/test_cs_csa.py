@@ -1,0 +1,85 @@
+"""Unit + property tests for repro.cs.csa (compressors and trees)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cs import csa3, csa4, csa_tree_depth, reduce_rows
+
+words = st.integers(0, (1 << 96) - 1)
+
+
+class TestCompressors:
+    @given(words, words, words)
+    def test_csa3_preserves_value(self, x, y, z):
+        s, c = csa3(x, y, z)
+        assert s + c == x + y + z
+
+    @given(words, words, words, words)
+    def test_csa4_preserves_value(self, w, x, y, z):
+        s, c = csa4(w, x, y, z)
+        assert s + c == w + x + y + z
+
+    @given(words, words)
+    def test_csa3_with_zero_is_identity_pair(self, x, y):
+        s, c = csa3(x, y, 0)
+        assert s + c == x + y
+
+    def test_carry_has_double_weight(self):
+        s, c = csa3(1, 1, 0)
+        assert s == 0 and c == 2
+
+
+class TestTreeDepth:
+    @pytest.mark.parametrize("rows,depth", [
+        (0, 0), (1, 0), (2, 0), (3, 1), (4, 2), (6, 3), (9, 4),
+        (13, 5), (19, 6), (28, 7), (42, 8), (53, 9), (63, 9), (64, 10),
+    ])
+    def test_wallace_recurrence(self, rows, depth):
+        # the classic Wallace-tree level counts; 53 rows (a binary64
+        # significand) and 54 rows (with the Fig. 6 rounding correction
+        # row) both need 9 levels -- the correction is latency-free here
+        assert csa_tree_depth(rows) == depth
+        assert csa_tree_depth(54) == csa_tree_depth(53)
+
+    def test_rounding_row_adds_at_most_one_level(self):
+        # Sec. III-C: integrating the rounding correction into the tree
+        # adds at most one level to the critical path.
+        for rows in range(2, 120):
+            assert csa_tree_depth(rows + 1) <= csa_tree_depth(rows) + 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            csa_tree_depth(-1)
+
+
+class TestReduceRows:
+    @given(st.lists(words, min_size=0, max_size=20))
+    def test_value_preserved_unbounded(self, rows):
+        red = reduce_rows(rows)
+        assert red.value == sum(rows)
+
+    @given(st.lists(words, min_size=1, max_size=20), st.integers(8, 64))
+    def test_value_preserved_modulo_width(self, rows, width):
+        red = reduce_rows(rows, width=width)
+        assert (red.value - sum(rows)) % (1 << width) == 0
+
+    @given(st.lists(words, min_size=3, max_size=30))
+    def test_depth_matches_formula(self, rows):
+        red = reduce_rows(rows)
+        assert red.depth == csa_tree_depth(len(rows))
+
+    def test_empty_and_small(self):
+        assert reduce_rows([]).value == 0
+        assert reduce_rows([5]).value == 5
+        assert reduce_rows([5, 7]).value == 12
+        assert reduce_rows([5, 7]).depth == 0
+
+    def test_rejects_negative_rows(self):
+        with pytest.raises(ValueError):
+            reduce_rows([1, -2, 3])
+
+    @given(st.lists(words, min_size=3, max_size=30))
+    def test_compressor_count_is_area_proxy(self, rows):
+        red = reduce_rows(rows)
+        # n rows need exactly n-2 compressors in total (each removes one)
+        assert red.compressors == len(rows) - 2

@@ -1,0 +1,140 @@
+"""Unit + property tests for repro.cs.csnumber."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from conftest import cs_words
+from repro.cs import CSNumber, pcs_carry_mask
+
+
+class TestValueSemantics:
+    @given(cs_words())
+    def test_value_is_sum_plus_carry(self, sc):
+        s, c, w = sc
+        assert CSNumber(s, c, w).value == s + c
+
+    @given(cs_words())
+    def test_digits_in_range(self, sc):
+        s, c, w = sc
+        n = CSNumber(s, c, w)
+        assert all(0 <= d <= 2 for d in n.digits())
+
+    @given(cs_words())
+    def test_digit_weighted_sum_equals_value(self, sc):
+        s, c, w = sc
+        n = CSNumber(s, c, w)
+        # carries above the width contribute beyond the digit positions
+        assert sum(d << i for i, d in enumerate(n.digits())) == \
+            n.value - (((c >> w) & 1) << w)
+
+    def test_paper_example_nonunique_half(self):
+        # Sec. III-E: 0.5d = 0.1000b can be 0.0200cs or 0.0120cs.
+        # scaled by 2^4: 8 = 0200cs = 0120cs
+        a = CSNumber(0b0000, 0b1000, 4)      # digit 2 at position 3? no:
+        # 0200cs means digit 2 at position 2: sum bit + carry bit both set
+        a = CSNumber(0b0100, 0b0100, 4)
+        b = CSNumber(0b0100, 0b0010, 4)      # 0120cs: digits 1@2, 2@1? ->
+        b = CSNumber(0b0110, 0b0010, 4)      # digits: pos2=1, pos1=2
+        assert a.value == 8
+        assert b.value == 8
+        assert a.digits() != b.digits()
+
+
+class TestSignedValue:
+    @given(st.integers(2, 100), st.data())
+    def test_from_signed_roundtrip(self, w, data):
+        v = data.draw(st.integers(-(1 << (w - 1)), (1 << (w - 1)) - 1))
+        assert CSNumber.from_signed(v, w).signed_value() == v
+
+    @given(cs_words())
+    def test_signed_value_is_modular(self, sc):
+        s, c, w = sc
+        n = CSNumber(s, c, w)
+        sv = n.signed_value()
+        assert -(1 << (w - 1)) <= sv < (1 << (w - 1))
+        assert (sv - (s + c)) % (1 << w) == 0
+
+    def test_from_signed_range_check(self):
+        with pytest.raises(ValueError):
+            CSNumber.from_signed(8, 4)
+        with pytest.raises(ValueError):
+            CSNumber.from_signed(-9, 4)
+
+
+class TestConstruction:
+    def test_from_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CSNumber.from_int(-1, 8)
+
+    def test_from_int_rejects_overwide(self):
+        with pytest.raises(ValueError):
+            CSNumber.from_int(256, 8)
+
+    def test_sum_width_enforced(self):
+        with pytest.raises(ValueError):
+            CSNumber(1 << 8, 0, 8)
+
+    def test_carry_guard_position_allowed(self):
+        n = CSNumber(0, 1 << 8, 8)  # guard carry just above the width
+        assert n.value == 256
+
+    def test_carry_beyond_guard_rejected(self):
+        with pytest.raises(ValueError):
+            CSNumber(0, 1 << 9, 8)
+
+    def test_carry_mask_enforced(self):
+        mask = pcs_carry_mask(22, 11)
+        CSNumber(0, 1 << 11, 22, mask)  # legal position
+        with pytest.raises(ValueError):
+            CSNumber(0, 1 << 5, 22, mask)  # illegal position
+
+    def test_zero(self):
+        z = CSNumber.zero(16)
+        assert z.value == 0 and z.is_plain_binary
+
+
+class TestPcsCarryMask:
+    def test_spacing_11_width_110(self):
+        # boundaries at 11, 22, ..., 110: ten positions
+        mask = pcs_carry_mask(110, 11)
+        assert bin(mask).count("1") == 10
+        assert mask & 1 == 0
+
+    def test_spacing_must_be_positive(self):
+        with pytest.raises(ValueError):
+            pcs_carry_mask(10, 0)
+
+    def test_paper_carry_distribution_choices(self):
+        # Sec. III-E: legal distributions are every 5th, 11th or 55th bit
+        # of a 55-bit block (the divisors of 55 greater than 1).
+        assert all(55 % k == 0 for k in (5, 11, 55))
+        assert bin(pcs_carry_mask(385, 11)).count("1") == 35
+
+
+class TestTransforms:
+    @given(cs_words(max_width=64), st.integers(0, 16))
+    def test_shift_left_scales_value(self, sc, n):
+        s, c, w = sc
+        num = CSNumber(s, c, w)
+        shifted = num.shifted_left(n)
+        assert shifted.value == num.value << n
+
+    @given(cs_words(max_width=64), st.integers(1, 32))
+    def test_truncation_is_modular(self, sc, k):
+        s, c, w = sc
+        if k >= w:
+            return
+        num = CSNumber(s, c, w)
+        tr = num.truncated(k)
+        assert tr.width == k
+        assert (tr.value - num.value) % (1 << k) in (0,)  # mod-preserving
+        # sum+carry of the truncation agree with masked words
+        assert tr.sum == s & ((1 << k) - 1)
+
+    def test_carry_bit_count(self):
+        assert CSNumber(0, 0b1010, 4).carry_bit_count == 2
+
+    def test_with_mask_revalidates(self):
+        n = CSNumber(0, 0b10, 4)
+        with pytest.raises(ValueError):
+            n.with_mask(0b100)

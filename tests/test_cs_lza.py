@@ -1,0 +1,107 @@
+"""Property tests for the leading-zero anticipator (repro.cs.lza)."""
+
+from hypothesis import given, strategies as st
+
+from repro.cs import count_leading_zeros, leading_sign_bits, lza_estimate
+
+import pytest
+
+
+@st.composite
+def guarded_addends(draw, min_width: int = 4, max_width: int = 96):
+    """Two signed operands whose sum fits the width (guard-bit contract)."""
+    w = draw(st.integers(min_width, max_width))
+    lim = 1 << (w - 2)
+    a = draw(st.integers(-lim, lim - 1))
+    b = draw(st.integers(-lim, lim - 1))
+    return a & ((1 << w) - 1), b & ((1 << w) - 1), w
+
+
+@st.composite
+def cancelling_addends(draw, min_width: int = 4, max_width: int = 80):
+    w = draw(st.integers(min_width, max_width))
+    lim = 1 << (w - 2)
+    a = draw(st.integers(-lim, lim - 1))
+    delta = draw(st.integers(-4, 4))
+    b = max(-lim, min(lim - 1, -a + delta))
+    return a & ((1 << w) - 1), b & ((1 << w) - 1), w
+
+
+class TestLeadingSignBits:
+    def test_zero_and_minus_one_fully_redundant(self):
+        assert leading_sign_bits(0, 8) == 8
+        assert leading_sign_bits(-1, 8) == 8
+
+    @pytest.mark.parametrize("v,w,expected", [
+        (1, 8, 7), (0b0101, 8, 5), (-2, 8, 7), (-128, 8, 1), (127, 8, 1),
+    ])
+    def test_examples(self, v, w, expected):
+        assert leading_sign_bits(v, w) == expected
+
+    @given(st.integers(2, 64), st.data())
+    def test_counts_msb_run(self, w, data):
+        v = data.draw(st.integers(-(1 << (w - 1)), (1 << (w - 1)) - 1))
+        r = leading_sign_bits(v, w)
+        bits = [(v >> i) & 1 for i in range(w - 1, -1, -1)]
+        run = 0
+        for b in bits:
+            if b == bits[0]:
+                run += 1
+            else:
+                break
+        if v >= 0:
+            # positive: leading zeros (including sign position)
+            assert r == run if bits[0] == 0 else True
+        assert r == run or v in (0, -1)
+
+
+class TestCountLeadingZeros:
+    def test_basics(self):
+        assert count_leading_zeros(0, 16) == 16
+        assert count_leading_zeros(1, 16) == 15
+        assert count_leading_zeros(0x8000, 16) == 0
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            count_leading_zeros(256, 8)
+
+
+class TestAnticipationProperty:
+    """The Schmookler/Nowka guarantee the FCS-FMA relies on
+    (Sec. III-G: 'an error of up to one bit position')."""
+
+    @given(guarded_addends())
+    def test_one_bit_error_bound(self, abw):
+        a, b, w = abw
+        s = (a + b) & ((1 << w) - 1)
+        true = leading_sign_bits(s, w)
+        est = lza_estimate(a, b, w)
+        assert est <= true <= est + 1
+
+    @given(cancelling_addends())
+    def test_bound_holds_under_cancellation(self, abw):
+        # Sec. III-G: similar-magnitude opposite-sign addends are the
+        # stress case for anticipation.
+        a, b, w = abw
+        s = (a + b) & ((1 << w) - 1)
+        true = leading_sign_bits(s, w)
+        est = lza_estimate(a, b, w)
+        assert est <= true <= est + 1
+
+    @given(guarded_addends())
+    def test_estimate_is_lower_bound(self, abw):
+        # the block multiplexer may never select above the true MSB
+        a, b, w = abw
+        s = (a + b) & ((1 << w) - 1)
+        assert lza_estimate(a, b, w) <= leading_sign_bits(s, w)
+
+    def test_all_zero_inputs_detected(self):
+        # Sec. III-G: the anticipation logic must reliably flag all-0
+        # mantissas so the mux never selects past real data.
+        assert lza_estimate(0, 0, 32) >= 31
+
+    @given(st.integers(4, 64), st.data())
+    def test_single_operand_estimate(self, w, data):
+        v = data.draw(st.integers(0, (1 << (w - 2)) - 1))
+        est = lza_estimate(v, 0, w)
+        assert est <= leading_sign_bits(v, w) <= est + 1

@@ -1,0 +1,100 @@
+"""Unit + property tests for the Fig. 6 multiplier (repro.cs.multiplier)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cs import csa_tree_depth, multiply_mantissa
+
+
+def signed_of(word: int, width: int) -> int:
+    return word - (1 << width) if (word >> (width - 1)) else word
+
+
+@st.composite
+def mult_cases(draw):
+    bw = draw(st.integers(2, 53))
+    cw = draw(st.integers(2, 110))
+    b = draw(st.integers(0, (1 << bw) - 1))
+    c = draw(st.integers(0, (1 << cw) - 1))
+    return bw, cw, b, c
+
+
+class TestFunctionalCorrectness:
+    @given(mult_cases())
+    def test_plain_product(self, case):
+        bw, cw, b, c = case
+        r = multiply_mantissa(b, bw, c, cw)
+        want = b * signed_of(c, cw)
+        assert (r.signed_value() - want) % (1 << (bw + cw)) == 0
+
+    @given(mult_cases())
+    def test_negate_applies_b_sign(self, case):
+        bw, cw, b, c = case
+        r = multiply_mantissa(b, bw, c, cw, negate=True)
+        want = -b * signed_of(c, cw)
+        assert (r.signed_value() - want) % (1 << (bw + cw)) == 0
+
+    @given(mult_cases())
+    def test_rounding_correction_is_b_times_c_plus_one(self, case):
+        # Fig. 6 / Sec. III-C: B * (C+1) = B*C + B, realized by injecting
+        # one extra B row when C's deferred rounding says "round up".
+        bw, cw, b, c = case
+        r = multiply_mantissa(b, bw, c, cw, round_up_c=True)
+        want = b * (signed_of(c, cw) + 1)
+        assert (r.signed_value() - want) % (1 << (bw + cw)) == 0
+
+    @given(mult_cases())
+    def test_negate_and_round_combined(self, case):
+        bw, cw, b, c = case
+        r = multiply_mantissa(b, bw, c, cw, negate=True, round_up_c=True)
+        want = -b * (signed_of(c, cw) + 1)
+        assert (r.signed_value() - want) % (1 << (bw + cw)) == 0
+
+    def test_zero_multiplicand(self):
+        r = multiply_mantissa(0, 8, 123, 8)
+        assert r.signed_value() == 0
+
+
+class TestWindowPlacement:
+    @given(mult_cases(), st.integers(0, 64))
+    def test_wider_output_window(self, case, extra):
+        bw, cw, b, c = case
+        w = bw + cw + extra
+        r = multiply_mantissa(b, bw, c, cw, out_width=w)
+        want = b * signed_of(c, cw)
+        assert (r.signed_value() - want) % (1 << w) == 0
+
+    def test_exact_in_wide_window(self):
+        # with enough headroom the signed value is exact, not just modular
+        r = multiply_mantissa(3, 2, (1 << 8) - 5, 8, out_width=32)
+        assert r.signed_value() == 3 * -5
+
+
+class TestStatistics:
+    def test_row_count_is_b_width_plus_correction(self):
+        r = multiply_mantissa(0b1011, 4, 7, 4)
+        assert r.rows == 4
+        r = multiply_mantissa(0b1011, 4, 7, 4, round_up_c=True)
+        assert r.rows == 5
+
+    def test_paper_row_count_for_binary64(self):
+        # Sec. III-D: the number of CSA-tree inputs depends on the width
+        # of the *smaller* operand B (53 bits), not the widened C.
+        r53 = multiply_mantissa((1 << 53) - 1, 53, 12345, 110)
+        assert r53.rows == 53
+        assert csa_tree_depth(r53.rows) == csa_tree_depth(53)
+
+    def test_widening_c_keeps_row_count(self):
+        narrow = multiply_mantissa((1 << 53) - 1, 53, 123, 53)
+        wide = multiply_mantissa((1 << 53) - 1, 53, 123, 110)
+        assert narrow.rows == wide.rows
+
+
+class TestValidation:
+    def test_b_out_of_range(self):
+        with pytest.raises(ValueError):
+            multiply_mantissa(16, 4, 0, 4)
+
+    def test_c_must_be_wrapped(self):
+        with pytest.raises(ValueError):
+            multiply_mantissa(1, 4, -1, 4)

@@ -1,0 +1,141 @@
+"""Unit + property tests for the Fig. 10 block Zero Detector."""
+
+from hypothesis import given, strategies as st
+
+from repro.cs import (BlockKind, CSNumber, block_digits, classify_block,
+                      count_skippable_blocks, skip_preserves_value)
+
+
+class TestClassifyBlock:
+    def test_all_zero_is_zero_value(self):
+        # Fig. 10 (a)
+        assert classify_block([0] * 7) is BlockKind.ZERO_VALUE
+
+    def test_all_ones_is_sign_extension(self):
+        # Fig. 10 (b)
+        assert classify_block([1] * 7) is BlockKind.ALL_ONES
+
+    def test_ripple_pattern_is_zero_value(self):
+        # Fig. 10 (c): 1111200 has value 2^7 -> zero after the wrap
+        assert classify_block([1, 1, 1, 1, 2, 0, 0]) is BlockKind.ZERO_VALUE
+
+    def test_leading_two_ripple(self):
+        assert classify_block([2, 0, 0, 0]) is BlockKind.ZERO_VALUE
+
+    def test_ripple_with_trailing_nonzero_is_significant(self):
+        assert classify_block([1, 1, 2, 0, 1]) is BlockKind.SIGNIFICANT
+
+    def test_ordinary_data_is_significant(self):
+        assert classify_block([0, 1, 0, 1]) is BlockKind.SIGNIFICANT
+        assert classify_block([1, 0, 1, 1]) is BlockKind.SIGNIFICANT
+
+    def test_two_in_middle_without_zeros(self):
+        assert classify_block([1, 2, 1, 0]) is BlockKind.SIGNIFICANT
+
+    def test_zero_value_pattern_values(self):
+        # every ZERO_VALUE pattern really sums to 0 or 2^len
+        for digs in ([0, 0, 0], [1, 2, 0], [2, 0, 0], [1, 1, 2]):
+            val = sum(d << (len(digs) - 1 - i) for i, d in enumerate(digs))
+            if classify_block(digs) is BlockKind.ZERO_VALUE:
+                assert val in (0, 1 << len(digs))
+
+
+@st.composite
+def windows(draw, blocks: int = 5, block_size: int = 6):
+    w = blocks * block_size
+    s = draw(st.integers(0, (1 << w) - 1))
+    c = draw(st.integers(0, (1 << w) - 1))
+    return CSNumber(s, c, w)
+
+
+class TestCountSkippable:
+    @given(windows())
+    def test_skip_always_preserves_value(self, cs):
+        k = count_skippable_blocks(cs, 6)
+        assert skip_preserves_value(cs, 6, k)
+
+    @given(windows())
+    def test_skip_is_maximal_within_semantics(self, cs):
+        # no larger skip (within the mux limit) would preserve the value
+        k = count_skippable_blocks(cs, 6)
+        for bigger in range(k + 1, 5):
+            assert not skip_preserves_value(cs, 6, bigger)
+
+    @given(windows(), st.integers(0, 4))
+    def test_max_skip_respected(self, cs, cap):
+        assert count_skippable_blocks(cs, 6, max_skip=cap) <= cap
+
+    def test_zero_window_skips_to_cap(self):
+        cs = CSNumber(0, 0, 30)
+        assert count_skippable_blocks(cs, 6) == 4
+        assert count_skippable_blocks(cs, 6, max_skip=2) == 2
+
+    def test_all_ones_window(self):
+        # value -1: fully redundant sign extension
+        cs = CSNumber((1 << 30) - 1, 0, 30)
+        assert count_skippable_blocks(cs, 6) == 4
+
+    def test_positive_with_clear_top(self):
+        cs = CSNumber(0b101, 0, 30)
+        assert count_skippable_blocks(cs, 6) == 4
+
+    def test_value_near_top_not_skipped(self):
+        cs = CSNumber(1 << 28, 0, 30)
+        assert count_skippable_blocks(cs, 6) == 0
+
+    def test_fig10d_overflow_case_not_skipped(self):
+        # 0000000|012...: dropping the zero block would flip the sign of
+        # the remaining number (012cs = 100b, MSB becomes sign).
+        bs = 3
+        # two blocks: top block all-0; next block digits 0,1,2
+        s = 0b000_010
+        c = 0b000_011  # carries: digit1 gets +1 -> digits (0,1+1? ...)
+        # construct digits exactly (0,1,2): sum=0b011, carry=0b001
+        s = 0b000_011
+        c = 0b000_001
+        cs = CSNumber(s, c, 6)
+        assert [cs.digit(i) for i in (5, 4, 3)] == [0, 0, 0]
+        assert [cs.digit(i) for i in (2, 1, 0)] == [0, 1, 2]
+        # value = 0b011 + 0b001 = 4 = 100b; at width 3 that is negative,
+        # at width 6 positive -> skip must be refused
+        assert count_skippable_blocks(cs, bs) == 0
+
+    def test_multi_block_ripple_chain(self):
+        # an all-1 block above a 1...12 block: jointly zero (the ripple
+        # spans blocks); the kept region below must be selected
+        bs = 4
+        # blocks (msb first): [1111] [1112] [0001]
+        s = int("1111" "1111" "0001", 2)
+        c = int("0000" "0001" "0000", 2)
+        cs = CSNumber(s, c, 12)
+        k = count_skippable_blocks(cs, bs)
+        assert k == 2
+        assert skip_preserves_value(cs, bs, k)
+
+    def test_width_must_be_multiple(self):
+        import pytest
+        with pytest.raises(ValueError):
+            count_skippable_blocks(CSNumber(0, 0, 10), 3)
+
+
+class TestBlockDigits:
+    def test_msb_first_extraction(self):
+        cs = CSNumber(0b110100, 0b000100, 6)
+        assert block_digits(cs, 1, 3) == [1, 1, 0]
+        assert block_digits(cs, 0, 3) == [2, 0, 0]
+
+    @given(windows())
+    def test_digit_count(self, cs):
+        for b in range(5):
+            assert len(block_digits(cs, b, 6)) == 6
+
+
+class TestSemanticPredicate:
+    @given(windows())
+    def test_skip_zero_blocks_always_valid(self, cs):
+        assert skip_preserves_value(cs, 6, 0)
+
+    def test_full_skip_only_for_zero_or_minus_one(self):
+        assert skip_preserves_value(CSNumber(0, 0, 12), 6, 2)
+        assert skip_preserves_value(CSNumber((1 << 12) - 1, 0, 12), 6, 2)
+        assert not skip_preserves_value(CSNumber(5, 0, 12), 6, 2)

@@ -1,0 +1,63 @@
+"""Tests for the text figure renderer (repro.experiments.figures)."""
+
+from repro.experiments.figures import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_proportional_lengths(self):
+        out = bar_chart([("a", 4.0), ("b", 2.0), ("c", 1.0)], width=8)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 8
+        assert lines[1].count("█") == 4
+        assert lines[2].count("█") == 2
+
+    def test_labels_aligned(self):
+        out = bar_chart([("short", 1.0), ("a-much-longer-label", 2.0)])
+        lines = out.splitlines()
+        assert lines[0].index("1.00") == lines[1].index("2.00")
+
+    def test_title_and_unit(self):
+        out = bar_chart([("x", 1.0)], title="T", unit=" ns")
+        assert out.startswith("T\n")
+        assert " ns" in out
+
+    def test_empty(self):
+        assert bar_chart([], title="nothing") == "nothing"
+
+    def test_zero_values(self):
+        out = bar_chart([("z", 0.0)])
+        assert "z" in out  # renders without dividing by zero
+
+
+class TestGroupedBarChart:
+    def test_groups_rendered(self):
+        out = grouped_bar_chart([
+            ("g1", [("a", 10.0), ("b", 5.0)]),
+            ("g2", [("a", 2.0)]),
+        ])
+        assert "g1:" in out and "g2:" in out
+        assert out.splitlines()[1].count("█") > \
+            out.splitlines()[2].count("█")
+
+    def test_scale_shared_across_groups(self):
+        out = grouped_bar_chart([
+            ("g1", [("a", 10.0)]),
+            ("g2", [("a", 10.0)]),
+        ], width=10)
+        bars = [ln for ln in out.splitlines() if "█" in ln]
+        assert bars[0].count("█") == bars[1].count("█") == 10
+
+    def test_empty_groups(self):
+        assert grouped_bar_chart([], title="t") == "t"
+
+
+class TestIntegrationWithExperiments:
+    def test_fig13_output_contains_chart(self):
+        from repro.experiments import fig13
+        text = fig13.format_table(fig13.run())
+        assert "█" in text
+
+    def test_fig14_output_contains_chart(self):
+        from repro.experiments import fig14
+        text = fig14.format_table(fig14.run(runs=2))
+        assert "pcs-fma" in text

@@ -1,0 +1,146 @@
+"""Tests for the [12] PCS multiply-accumulate baseline."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fma.accumulator import AccumulatorOverflow, PcsAccumulator
+from repro.fp import FPValue, double
+
+
+class TestBasicAccumulation:
+    def test_sum_of_products(self):
+        acc = PcsAccumulator()
+        for a, b in [(1.5, 2.0), (0.25, 4.0), (-3.0, 1.0)]:
+            acc.accumulate(double(a), double(b))
+        assert acc.result_float() == 1.5 * 2.0 + 0.25 * 4.0 - 3.0
+
+    def test_empty_is_zero(self):
+        assert PcsAccumulator().result().is_zero
+
+    def test_reset(self):
+        acc = PcsAccumulator()
+        acc.accumulate(double(2.0), double(2.0))
+        acc.reset()
+        assert acc.result().is_zero and acc.operations == 0
+
+    @given(st.lists(st.tuples(
+        st.floats(1.0, 1e6), st.booleans(),
+        st.floats(1.0, 1e6), st.booleans()),
+        min_size=1, max_size=20).map(
+            lambda ps: [((-a if sa else a), (-b if sb else b))
+                        for a, sa, b, sb in ps]))
+    @settings(max_examples=30)
+    def test_matches_exact_sum_of_rounded_products(self, pairs):
+        # magnitudes in [1, 1e12]: every product bit lies inside the
+        # [2^-80, 2^80) window, so accumulation is exact until the final
+        # normalization
+        acc = PcsAccumulator(max_exp=80, lsb_exp=-80)
+        exact = Fraction(0)
+        for a, b in pairs:
+            fa, fb = double(a), double(b)
+            acc.accumulate(fa, fb)
+            from repro.fp import fp_mul
+            exact += fp_mul(fa, fb).to_fraction()
+        # accumulation itself is exact within the window: only the
+        # final normalization rounds
+        got = acc.result().to_fraction() if acc.result().is_finite \
+            else None
+        from repro.fp import BINARY64
+        want = FPValue.from_fraction(exact, BINARY64).to_fraction() \
+            if exact else Fraction(0)
+        assert got == want
+
+    def test_carry_free_addition_is_exact_in_window(self):
+        # the classic accumulation killer: alternating huge/tiny values
+        acc = PcsAccumulator(max_exp=80, lsb_exp=-80)
+        acc.accumulate_value(double(2.0 ** 60))
+        acc.accumulate_value(double(1.0))
+        acc.accumulate_value(double(-(2.0 ** 60)))
+        assert acc.result_float() == 1.0
+
+
+class TestWindowSemantics:
+    def test_overflow_detected(self):
+        acc = PcsAccumulator(max_exp=16, lsb_exp=-16)
+        with pytest.raises(AccumulatorOverflow):
+            acc.accumulate_value(double(2.0 ** 40))
+
+    def test_non_finite_rejected(self):
+        from repro.fp import BINARY64
+        acc = PcsAccumulator()
+        with pytest.raises(AccumulatorOverflow):
+            acc.accumulate_value(FPValue.inf(BINARY64))
+
+    def test_truncation_below_window(self):
+        acc = PcsAccumulator(max_exp=16, lsb_exp=0)
+        acc.accumulate_value(double(1.5))   # the .5 is below the LSB
+        assert acc.result_float() == 1.0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            PcsAccumulator(max_exp=0, lsb_exp=0)
+
+    def test_zero_addend_counts_operation(self):
+        from repro.fp import BINARY64
+        acc = PcsAccumulator()
+        acc.accumulate_value(FPValue.zero(BINARY64))
+        assert acc.operations == 1
+
+
+class TestVersusFmaChain:
+    """The Sec. III argument: the MAC shines on independent sums, not on
+    dependent chains."""
+
+    def test_mac_beats_naive_on_large_sums(self):
+        rng = random.Random(0)
+        acc = PcsAccumulator(max_exp=96, lsb_exp=-96)
+        naive = 0.0
+        exact = Fraction(0)
+        for _ in range(200):
+            a = rng.uniform(-1e6, 1e6)
+            b = rng.uniform(-1e6, 1e6)
+            fa, fb = double(a), double(b)
+            acc.accumulate(fa, fb)
+            naive = naive + (a * b)
+            from repro.fp import fp_mul
+            exact += fp_mul(fa, fb).to_fraction()
+        err_mac = abs(acc.result().to_fraction() - exact)
+        err_naive = abs(Fraction(naive) - exact)
+        assert err_mac <= err_naive
+
+    def test_chained_dependence_needs_fma_not_mac(self):
+        # x2 = e*f + g*x1 needs x1 back in IEEE format to multiply: the
+        # MAC's low-latency addition does not help -- the reason the
+        # paper eliminates it (Sec. III).  Functionally the MAC route
+        # equals the discrete path here, while the FMA chain matches
+        # the correctly-rounded result.
+        from repro.fma import fcs_engine
+        from repro.fp import fp_mul
+
+        a, b, c, d, e, f, g = (0.1, 3.0, 0.7, -2.0, 1e-8, 5.0, 32.0)
+        # MAC route: accumulate a*b + c*d, normalize, then a *new*
+        # accumulation for e*f + g*x1
+        acc = PcsAccumulator()
+        acc.accumulate(double(a), double(b))
+        acc.accumulate(double(c), double(d))
+        x1 = acc.result()
+        acc2 = PcsAccumulator()
+        acc2.accumulate(double(e), double(f))
+        acc2.accumulate(double(g), x1)
+        mac_x2 = acc2.result_float()
+
+        # FMA-chain route: x1 stays in carry-save format end to end
+        eng = fcs_engine()
+        x1c = eng.fma(eng.lift(fp_mul(double(a), double(b))), double(c),
+                      eng.lift(double(d)))
+        x2c = eng.fma(eng.lift(fp_mul(double(e), double(f))), double(g),
+                      x1c)
+        fma_x2 = eng.lower(x2c).to_float()
+
+        exact_x1 = Fraction(a) * Fraction(b) + Fraction(c) * Fraction(d)
+        exact_x2 = Fraction(e) * Fraction(f) + Fraction(g) * exact_x1
+        assert abs(fma_x2 - float(exact_x2)) <= \
+            abs(mac_x2 - float(exact_x2)) + 1e-18

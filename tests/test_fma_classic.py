@@ -1,0 +1,48 @@
+"""Tests for the classic FMA baseline (repro.fma.classic)."""
+
+from fractions import Fraction
+
+from hypothesis import given
+
+from conftest import normal_doubles
+from repro.fma import ClassicFmaUnit, ClassicTrace
+from repro.fp import BINARY64, FPValue, double, fp_fma
+
+
+class TestCorrectRounding:
+    @given(a=normal_doubles(-100, 100), b=normal_doubles(-100, 100),
+           c=normal_doubles(-100, 100))
+    def test_matches_single_rounding_fma(self, a, b, c):
+        unit = ClassicFmaUnit()
+        got = unit.fma(double(a), double(b), double(c))
+        want = fp_fma(double(a), double(b), double(c))
+        assert got == want
+
+    @given(a=normal_doubles(-50, 50), b=normal_doubles(-50, 50),
+           c=normal_doubles(-50, 50))
+    def test_exactly_rounded(self, a, b, c):
+        unit = ClassicFmaUnit()
+        r = unit.fma(double(a), double(b), double(c))
+        exact = Fraction(a) + Fraction(b) * Fraction(c)
+        want = FPValue.from_fraction(exact, BINARY64)
+        assert r == want
+
+
+class TestArchitecturalConstants:
+    def test_adder_width_is_161_for_binary64(self):
+        # Sec. III-A: "a 161b adder followed by a conditional complement"
+        assert ClassicFmaUnit.adder_width(53) == 161
+
+    def test_trace_is_populated_for_normals(self):
+        t = ClassicTrace()
+        ClassicFmaUnit().fma(double(1.5), double(2.0), double(3.0), t)
+        assert 0 <= t.align_shift <= 161
+
+    def test_trace_untouched_for_specials(self):
+        t = ClassicTrace()
+        ClassicFmaUnit().fma(FPValue.nan(BINARY64), double(1.0),
+                             double(1.0), t)
+        assert t.align_shift == 0
+
+    def test_name(self):
+        assert ClassicFmaUnit().name == "classic-fma"

@@ -1,0 +1,87 @@
+"""Tests for the IEEE <-> carry-save converters (repro.fma.convert)."""
+
+import math
+from fractions import Fraction
+
+from hypothesis import given
+
+from conftest import normal_doubles, normal_fpvalues
+from repro.fma import (FCS_PARAMS, PCS_PARAMS, PcsFmaUnit, cs_to_ieee,
+                       ieee_to_cs)
+from repro.fp import BINARY64, EXTENDED68, FPValue, double
+
+
+class TestRoundTrips:
+    @given(normal_fpvalues())
+    def test_pcs_roundtrip_identity(self, v):
+        assert cs_to_ieee(ieee_to_cs(v, PCS_PARAMS)) == v
+
+    @given(normal_fpvalues())
+    def test_fcs_roundtrip_identity(self, v):
+        assert cs_to_ieee(ieee_to_cs(v, FCS_PARAMS)) == v
+
+    def test_extreme_exponents_roundtrip(self):
+        for e in (-1022, -1000, 1000, 1023):
+            x = math.ldexp(1.5, e)
+            assert cs_to_ieee(ieee_to_cs(double(x), PCS_PARAMS)
+                              ).to_float() == x
+
+    def test_specials_roundtrip(self):
+        for v in (FPValue.nan(BINARY64), FPValue.inf(BINARY64),
+                  FPValue.inf(BINARY64, 1), FPValue.zero(BINARY64, 1)):
+            back = cs_to_ieee(ieee_to_cs(v, PCS_PARAMS))
+            assert back.cls == v.cls
+            if not v.is_nan:
+                assert back.sign == v.sign
+
+
+class TestLoweringWithRoundData:
+    @given(normal_doubles(-40, 40), normal_doubles(-40, 40),
+           normal_doubles(-40, 40))
+    def test_lowering_after_fma_is_within_one_ulp(self, a, b, c):
+        # an FMA result carries rounding data; the converter must fold it
+        # into one correct rounding of the information available
+        unit = PcsFmaUnit()
+        fa, fb, fc = double(a), double(b), double(c)
+        r = unit.fma(ieee_to_cs(fa, unit.params), fb,
+                     ieee_to_cs(fc, unit.params))
+        out = cs_to_ieee(r)
+        exact = Fraction(a) + Fraction(b) * Fraction(c)
+        if out.is_normal and exact != 0:
+            ulp = Fraction(2) ** (out.unbiased_exponent - 52)
+            assert abs(out.to_fraction() - exact) <= ulp
+
+    @given(normal_fpvalues())
+    def test_lower_to_wider_format_is_exact(self, v):
+        cs = ieee_to_cs(v, PCS_PARAMS)
+        wide = cs_to_ieee(cs, EXTENDED68)
+        assert wide.to_fraction() == v.to_fraction()
+
+
+class TestOutOfRangeHandling:
+    def test_huge_cs_exponent_overflows_to_inf(self):
+        from repro.fma import CSFloat
+        from repro.fp import FpClass
+        from repro.cs import CSNumber
+        p = PCS_PARAMS
+        mant = CSNumber((1 << 107), 0, p.mant_width, p.mant_carry_mask)
+        big = CSFloat(p, FpClass.NORMAL, exp=1500, mant=mant)
+        assert cs_to_ieee(big).is_inf
+
+    def test_tiny_cs_exponent_flushes_to_zero(self):
+        from repro.fma import CSFloat
+        from repro.fp import FpClass
+        from repro.cs import CSNumber
+        p = PCS_PARAMS
+        mant = CSNumber((1 << 107), 0, p.mant_width, p.mant_carry_mask)
+        tiny = CSFloat(p, FpClass.NORMAL, exp=-1500, mant=mant)
+        assert cs_to_ieee(tiny).is_zero
+
+    def test_zero_mantissa_lowers_to_zero(self):
+        from repro.fma import CSFloat
+        from repro.fp import FpClass
+        from repro.cs import CSNumber
+        p = PCS_PARAMS
+        mant = CSNumber(0, 0, p.mant_width, p.mant_carry_mask)
+        z = CSFloat(p, FpClass.NORMAL, exp=0, mant=mant)
+        assert cs_to_ieee(z).is_zero

@@ -1,0 +1,126 @@
+"""Tests for the fused dot-product extension (repro.fma.dotprod)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fma import (FusedDotProductUnit, PcsFmaUnit, compare_dot_products,
+                       exact_dot, fma_dot, naive_dot)
+from repro.fp import FPValue
+
+
+def vec(values):
+    return [FPValue.from_float(float(v)) for v in values]
+
+
+class TestFusedDot:
+    def test_simple_values(self):
+        unit = FusedDotProductUnit()
+        assert unit.dot_floats([1, 2, 3], [4, 5, 6]) == 32.0
+
+    def test_empty_vectors(self):
+        assert FusedDotProductUnit().dot([], []).is_zero
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            FusedDotProductUnit().dot(vec([1]), vec([1, 2]))
+
+    def test_pcs_flavor(self):
+        unit = FusedDotProductUnit(PcsFmaUnit())
+        assert unit.name == "fused-dot-pcs"
+        assert unit.dot_floats([0.5, 0.25], [2.0, 4.0]) == 2.0
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=15))
+    @settings(max_examples=30)
+    def test_matches_exact_within_one_ulp(self, xs):
+        a = vec(xs)
+        b = vec([x / 3 + 1 for x in xs])
+        exact = exact_dot(a, b)
+        r = FusedDotProductUnit().dot(a, b)
+        if r.is_normal and exact != 0:
+            ulp = Fraction(2) ** (r.unbiased_exponent - 52)
+            assert abs(r.to_fraction() - exact) <= ulp
+
+    def test_single_rounding_for_cancellation(self):
+        # a dot product whose partial sums cancel catastrophically:
+        # [M, 1, -M] . [1, 1, 1].  With M = 2^60 the intermediate 1.0
+        # falls 60 bits below the running sum -- inside the 87-digit CS
+        # accumulator but far outside binary64's 53 bits.
+        M = 2.0 ** 60
+        a = vec([M, 1.0, -M])
+        b = vec([1.0, 1.0, 1.0])
+        fused = FusedDotProductUnit().dot(a, b)
+        naive = naive_dot(a, b)
+        assert fused.to_float() == 1.0         # exact
+        assert naive.to_float() == 0.0         # the 1.0 was absorbed
+
+    def test_accumulator_precision_is_bounded(self):
+        # the CS accumulator is wide, not infinite (not a Kulisch
+        # accumulator): data further below the running maximum than the
+        # mantissa + rounding block is consumed by the deferred
+        # rounding decision
+        M = 2.0 ** 120
+        a = vec([M, 1.0, -M])
+        b = vec([1.0, 1.0, 1.0])
+        fused = FusedDotProductUnit().dot(a, b)
+        assert fused.to_float() != 1.0
+
+
+class TestBaselines:
+    @given(st.lists(st.floats(-100, 100).filter(
+        lambda x: x == 0.0 or abs(x) > 1e-300), min_size=1, max_size=10))
+    @settings(max_examples=25)
+    def test_naive_matches_python_loop(self, xs):
+        # subnormals excluded: the models flush them to zero by design
+        a = vec(xs)
+        b = vec([2.0] * len(xs))
+        acc = 0.0
+        for x in xs:
+            acc = acc + x * 2.0
+        assert naive_dot(a, b).to_float() == acc
+
+    def test_fma_loop_beats_naive_on_products(self):
+        # products that need >53 bits: the fma loop keeps them
+        x = 1.0 + 2.0 ** -30
+        a = vec([x, -1.0])
+        b = vec([x, x * x])
+        exact = exact_dot(a, b)
+        err_naive = abs(naive_dot(a, b).to_fraction() - exact)
+        err_fma = abs(fma_dot(a, b).to_fraction() - exact)
+        assert err_fma <= err_naive
+
+
+class TestComparison:
+    def test_comparison_structure(self):
+        a = vec([1.0, 2.0, 3.0])
+        b = vec([4.0, 5.0, 6.0])
+        c = compare_dot_products(a, b)
+        assert set(c.errors_ulp) == {"naive", "fma-loop", "kahan",
+                                     "fused-pcs", "fused-fcs"}
+        assert c.exact == 32
+        assert c.errors_ulp[c.best()] == min(c.errors_ulp.values())
+
+    def test_fused_wins_on_ill_conditioned_inputs(self):
+        rng = random.Random(3)
+        fused_total = 0.0
+        kahan_total = 0.0
+        for _ in range(10):
+            n = rng.randint(8, 40)
+            a, b = [], []
+            for _ in range(n):
+                scale = 10.0 ** rng.randint(0, 10)
+                a.append(FPValue.from_float(rng.uniform(-scale, scale)))
+                b.append(FPValue.from_float(rng.uniform(-1, 1)))
+            c = compare_dot_products(a, b)
+            fused_total += c.errors_ulp["fused-fcs"]
+            kahan_total += c.errors_ulp["kahan"]
+        assert fused_total < kahan_total
+
+    def test_zero_exact_handled(self):
+        a = vec([1.0, -1.0])
+        b = vec([1.0, 1.0])
+        c = compare_dot_products(a, b)
+        assert c.exact == 0
+        assert all(v >= 0 for v in c.errors_ulp.values())

@@ -1,0 +1,158 @@
+"""Unit tests for the PCS/FCS operand formats (repro.fma.formats)."""
+
+import pytest
+from hypothesis import given
+
+from conftest import normal_fpvalues
+from repro.cs import CSNumber
+from repro.fma import (CSFloat, FCS_PARAMS, PCS_PARAMS, chunk_carry_mask,
+                       round_decision)
+from repro.fp import BINARY64, EXTENDED75, FPValue
+
+
+class TestPaperParameters:
+    def test_pcs_operand_is_192_bits(self):
+        # Sec. III-F: "the A and C operands, as well as the FMA result,
+        # are expressed as 192b words":
+        # 12 exponent + 110 mantissa + 10 carries + 55 round + 5 carries.
+        p = PCS_PARAMS
+        assert p.exp_bits == 12
+        assert p.mant_width == 110
+        assert p.mant_carry_bits == 10
+        assert p.block == 55
+        assert p.round_carry_bits == 5
+        assert p.operand_bits == 192
+
+    def test_pcs_window_and_mux(self):
+        # Sec. III-D: 110 + 163 + 110 = 383, rounded up to 385 = 7 blocks;
+        # the result multiplexer is 6-to-1.
+        assert PCS_PARAMS.window_width == 385
+        assert PCS_PARAMS.window_blocks == 7
+        assert PCS_PARAMS.mux_positions == 6
+        assert PCS_PARAMS.product_lsb == 110
+
+    def test_fcs_geometry(self):
+        # Sec. III-H: 87c mantissa in three 29c blocks, 13-block (377c)
+        # window, 11-to-1 multiplexer, 29c of rounding data.
+        p = FCS_PARAMS
+        assert p.mant_width == 87
+        assert p.mant_blocks == 3
+        assert p.window_width == 377
+        assert p.window_blocks == 13
+        assert p.mux_positions == 11
+        assert p.block == 29
+
+    def test_excess_2047_exponent_range(self):
+        # Sec. III-F: the 12b excess-2047 exponent surpasses IEEE 754's
+        # 11b range on both sides.
+        assert PCS_PARAMS.exp_min < BINARY64.emin
+        assert PCS_PARAMS.exp_max > BINARY64.emax
+
+    def test_frac_bits_leave_guard_and_sign(self):
+        # mantissa = guard + sign + leading-1 + frac (Sec. III-D)
+        assert PCS_PARAMS.frac_bits == 107
+        assert FCS_PARAMS.frac_bits == 84
+
+    def test_fcs_precision_guarantee(self):
+        # Sec. III-H: worst case leaves >= 53 significant digits
+        p = FCS_PARAMS
+        worst_case_significant = p.mant_width - p.block - 4
+        assert worst_case_significant + p.block >= 53
+
+    def test_chunk_carry_mask_includes_lsb(self):
+        m = chunk_carry_mask(110, 11)
+        assert m & 1
+        assert bin(m).count("1") == 10
+
+
+class TestRoundDecision:
+    def test_above_half_rounds_up(self):
+        rd = CSNumber(1 << 54, 0, 55, chunk_carry_mask(55, 11))
+        assert round_decision(rd, 55) == 1
+
+    def test_below_half_rounds_down(self):
+        rd = CSNumber((1 << 54) - 1, 0, 55, chunk_carry_mask(55, 11))
+        assert round_decision(rd, 55) == 0
+
+    def test_documented_misrounding_ripple_through_block(self):
+        # Sec. III-E: "an erroneous rounding-down would only occur if the
+        # saved carries would ripple through all 55b from the LSB to the
+        # MSB" -- a carry entering the block LSB below an all-ones sum
+        # wraps out of the bounded inspection, so a trailing fraction of
+        # exactly one full ULP contributes nothing to the decision.
+        mask = chunk_carry_mask(55, 11)
+        rd = CSNumber((1 << 55) - 1, 1, 55, mask)  # sum all-1 + carry-in
+        assert rd.value == 1 << 55                 # one whole ULP
+        assert round_decision(rd, 55) == 0         # yet rounds down
+
+    def test_misrounding_error_bounded_by_one_ulp(self):
+        # whatever the digit pattern, the decision deviates from the true
+        # nearest rounding of the block value by at most one ULP -- the
+        # acceptable-inaccuracy contract of Sec. III-E
+        import random
+        mask = chunk_carry_mask(55, 11)
+        rng = random.Random(3)
+        for _ in range(300):
+            s = rng.getrandbits(55)
+            c = 0
+            for pos in range(0, 55, 11):
+                if rng.random() < 0.5:
+                    c |= 1 << pos
+            rd = CSNumber(s, c, 55, mask)
+            true_round = (rd.value + (1 << 54)) >> 55  # half-up, in ULPs
+            assert abs(round_decision(rd, 55) - true_round) <= 1
+
+
+class TestCSFloatConstruction:
+    @given(normal_fpvalues())
+    def test_from_ieee_is_exact(self, v):
+        x = CSFloat.from_ieee(v, PCS_PARAMS)
+        assert x.to_fraction() == v.to_fraction()
+
+    @given(normal_fpvalues())
+    def test_fcs_from_ieee_is_exact(self, v):
+        x = CSFloat.from_ieee(v, FCS_PARAMS)
+        assert x.to_fraction() == v.to_fraction()
+
+    @given(normal_fpvalues())
+    def test_sign_from_mantissa(self, v):
+        x = CSFloat.from_ieee(v, PCS_PARAMS)
+        assert x.sign == v.sign
+
+    @given(normal_fpvalues())
+    def test_leading_one_inside_top_block(self, v):
+        # the explicit leading 1 must sit below the sign and guard digits
+        # of the top block (Sec. III-D derivation of the 55b block)
+        x = CSFloat.from_ieee(v, PCS_PARAMS)
+        m = abs(x.mant_signed())
+        assert (1 << 107) <= m < (1 << 108)
+
+    def test_specials(self):
+        p = PCS_PARAMS
+        assert CSFloat.from_ieee(FPValue.nan(BINARY64), p).is_nan
+        assert CSFloat.from_ieee(FPValue.inf(BINARY64, 1), p).sign == 1
+        z = CSFloat.from_ieee(FPValue.zero(BINARY64, 1), p)
+        assert z.is_zero and z.sign == 1
+
+    def test_biased_exponent_field(self):
+        x = CSFloat.from_float(1.0, PCS_PARAMS)
+        assert x.exp == 0
+        assert x.biased_exponent == 2047
+
+    def test_too_wide_source_format_rejected(self):
+        wide = FPValue.from_float(1.5, EXTENDED75)
+        # extended75 fits easily; build an artificial too-wide format
+        from repro.fp import FloatFormat
+        huge = FloatFormat("huge", 11, 120)
+        v = FPValue.from_fraction(wide.to_fraction(), huge)
+        with pytest.raises(ValueError):
+            CSFloat.from_ieee(v, FCS_PARAMS)
+
+    def test_exponent_range_validated(self):
+        with pytest.raises(ValueError):
+            CSFloat(PCS_PARAMS, cls=FPValue.from_float(1.0).cls,
+                    exp=5000)
+
+    def test_rounded_mantissa_applies_decision(self):
+        x = CSFloat.from_float(3.0, PCS_PARAMS)
+        assert x.rounded_mantissa() == x.mant_signed()  # no round data

@@ -1,0 +1,69 @@
+"""Tests for the CS operand-word packing (the 192-bit words of
+Sec. III-F)."""
+
+import random
+
+from hypothesis import given
+
+from conftest import normal_fpvalues
+from repro.fma import (CSFloat, FCS_PARAMS, PCS_PARAMS, PcsFmaUnit,
+                       ieee_to_cs)
+from repro.fp import BINARY64, FPValue, double
+
+
+class TestOperandPacking:
+    @given(normal_fpvalues())
+    def test_pcs_roundtrip(self, v):
+        x = ieee_to_cs(v, PCS_PARAMS)
+        back = CSFloat.unpack(x.pack(), PCS_PARAMS)
+        assert back.cls == x.cls
+        assert back.exp == x.exp
+        assert back.mant == x.mant
+        assert back.round_data == x.round_data
+
+    @given(normal_fpvalues())
+    def test_fcs_roundtrip(self, v):
+        x = ieee_to_cs(v, FCS_PARAMS)
+        assert CSFloat.unpack(x.pack(), FCS_PARAMS).to_fraction() == \
+            x.to_fraction()
+
+    def test_packed_width_matches_paper(self):
+        # Sec. III-F: "the A and C operands ... are expressed as 192b
+        # words" (+2 exception wires in the FloPoCo convention)
+        x = ieee_to_cs(double(1.0), PCS_PARAMS)
+        assert x.packed_width == 192 + 2
+        assert x.pack() < (1 << x.packed_width)
+
+    def test_fma_results_with_carries_roundtrip(self):
+        # results carry non-zero carry bits and rounding data
+        unit = PcsFmaUnit()
+        rng = random.Random(0)
+        for _ in range(40):
+            a = ieee_to_cs(double(rng.uniform(-50, 50)), unit.params)
+            c = ieee_to_cs(double(rng.uniform(-50, 50)), unit.params)
+            r = unit.fma(a, double(rng.uniform(-50, 50)), c)
+            if not r.is_normal:
+                continue
+            back = CSFloat.unpack(r.pack(), unit.params)
+            assert back.mant == r.mant
+            assert back.round_data == r.round_data
+            assert back.exp == r.exp
+
+    def test_specials_roundtrip(self):
+        for x in (CSFloat.nan(PCS_PARAMS), CSFloat.inf(PCS_PARAMS),
+                  CSFloat.zero(PCS_PARAMS)):
+            back = CSFloat.unpack(x.pack(), PCS_PARAMS)
+            assert back.cls == x.cls
+
+    def test_compact_expand_inverse(self):
+        from repro.fma.formats import _compact, _expand
+        rng = random.Random(1)
+        for _ in range(200):
+            mask = rng.getrandbits(64)
+            dense_bits = bin(mask).count("1")
+            dense = rng.getrandbits(dense_bits) if dense_bits else 0
+            assert _compact(_expand(dense, mask), mask) == dense
+
+    def test_ieee_value_packing_still_works(self):
+        v = FPValue.from_float(2.5, BINARY64)
+        assert FPValue.unpack(v.pack(), BINARY64) == v

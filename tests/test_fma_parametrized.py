@@ -1,0 +1,133 @@
+"""The architectures are 'freely parametrizable' (Sec. III): exercise
+the generic CS-FMA datapath on non-default geometries."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.fma import (CSFloat, CSFmaParams, CSFmaUnit, cs_to_ieee,
+                       ieee_to_cs)
+from repro.fp import BINARY32, double, exact_fma_fraction, ulp_error
+
+#: a single-precision-class PCS variant: 15-bit blocks, two-block
+#: mantissa (30 digits >= 24+guard+sign), carries every 5th bit
+SINGLE_PCS = CSFmaParams(
+    name="pcs-sp",
+    block=15,
+    mant_blocks=2,
+    window_blocks=7,
+    right_blocks=2,
+    carry_spacing=5,
+    exp_bits=10,
+    exp_bias=511,
+    b_sig_bits=24,
+)
+
+#: a wider FCS variant with four result blocks
+WIDE_FCS = CSFmaParams(
+    name="fcs-wide",
+    block=29,
+    mant_blocks=4,
+    window_blocks=15,
+    right_blocks=4,
+    carry_spacing=1,
+)
+
+VARIANTS = [
+    (SINGLE_PCS, "zd", True),
+    (WIDE_FCS, "lza", False),
+    (CSFmaParams(name="pcs-dense", block=55, mant_blocks=2,
+                 window_blocks=7, right_blocks=2, carry_spacing=5),
+     "zd", True),
+]
+
+
+def _b_value(rng, params):
+    """A B operand whose significand fits the variant's B port."""
+    from repro.fp import FPValue
+
+    if params.b_sig_bits < 53:
+        return FPValue.from_float(rng.uniform(-100, 100), BINARY32)
+    return double(rng.uniform(-100, 100))
+
+
+class TestParametrizedUnits:
+    @pytest.mark.parametrize("params,selector,reduce_", VARIANTS,
+                             ids=[p.name for p, _s, _r in VARIANTS])
+    def test_geometry_consistency(self, params, selector, reduce_):
+        assert params.window_width == params.block * params.window_blocks
+        assert params.mux_positions == \
+            params.window_blocks - params.mant_blocks + 1
+        assert params.frac_bits == params.mant_width - 3
+
+    @pytest.mark.parametrize("params,selector,reduce_", VARIANTS,
+                             ids=[p.name for p, _s, _r in VARIANTS])
+    def test_roundtrip(self, params, selector, reduce_):
+        rng = random.Random(0)
+        for _ in range(50):
+            x = double(rng.uniform(-1e3, 1e3))
+            if params.frac_bits + 1 < 53:
+                continue  # source format too wide for this variant
+            assert cs_to_ieee(ieee_to_cs(x, params)) == x
+
+    @pytest.mark.parametrize("params,selector,reduce_", VARIANTS,
+                             ids=[p.name for p, _s, _r in VARIANTS])
+    def test_fma_accuracy(self, params, selector, reduce_):
+        unit = CSFmaUnit(params, selector=selector,
+                         use_carry_reduce=reduce_)
+        rng = random.Random(1)
+        # precision guarantee of the variant: at least
+        # (frac_bits - block - margin) correct bits, capped by the
+        # binary64 rounding of inputs and output
+        frac = params.frac_bits
+        guaranteed_bits = min(max(frac - params.block - 4, 1), 52)
+        bound = Fraction(1, 1 << guaranteed_bits)
+        for _ in range(150):
+            a = rng.uniform(-100, 100)
+            c = rng.uniform(-100, 100)
+            fb = _b_value(rng, params)
+            fa, fc = double(a), double(c)
+            if params.frac_bits + 1 < 53:
+                # narrow variant: operate on inputs representable in it
+                fa = cs_to_ieee(ieee_to_cs_lossy(fa, params))
+                fc = cs_to_ieee(ieee_to_cs_lossy(fc, params))
+                A = ieee_to_cs_lossy(fa, params)
+                C = ieee_to_cs_lossy(fc, params)
+            else:
+                A = ieee_to_cs(fa, params)
+                C = ieee_to_cs(fc, params)
+            r = unit.fma(A, fb, C)
+            out = cs_to_ieee(r)
+            exact = exact_fma_fraction(fa, fb, fc)
+            if out.is_normal and exact != 0:
+                rel = abs(out.to_fraction() - exact) / abs(exact)
+                assert rel <= bound, (params.name, a, fb.to_float(), c,
+                                      float(rel))
+
+    def test_default_double_precision_units_within_one_ulp(self):
+        from repro.fma import FcsFmaUnit, PcsFmaUnit
+        rng = random.Random(2)
+        for unit in (PcsFmaUnit(), FcsFmaUnit()):
+            for _ in range(100):
+                fa = double(rng.uniform(-1e5, 1e5))
+                fb = double(rng.uniform(-1e5, 1e5))
+                fc = double(rng.uniform(-1e5, 1e5))
+                r = unit.fma(ieee_to_cs(fa, unit.params), fb,
+                             ieee_to_cs(fc, unit.params))
+                out = cs_to_ieee(r)
+                exact = exact_fma_fraction(fa, fb, fc)
+                if out.is_normal and exact != 0:
+                    assert ulp_error(out, exact) <= 1
+
+
+def ieee_to_cs_lossy(x, params):
+    """Round an IEEE value into a *narrower* CS format (the converter a
+    reduced-precision variant would use)."""
+    from repro.fp import FPValue, FloatFormat
+
+    if not x.is_normal:
+        return CSFloat.from_ieee(x, params)
+    narrow = FloatFormat("narrow", 11, params.frac_bits)
+    y = FPValue.from_fraction(x.to_fraction(), narrow)
+    return CSFloat.from_ieee(y, params)

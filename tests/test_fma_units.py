@@ -1,0 +1,214 @@
+"""Tests for the PCS-FMA and FCS-FMA datapaths (repro.fma.csfma)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from conftest import normal_doubles
+from repro.fma import (CSFmaUnit, FcsFmaUnit, PCS_PARAMS, PcsFmaUnit,
+                       cs_to_ieee, ieee_to_cs)
+from repro.fma.csfma import FmaTrace
+from repro.fp import BINARY64, FPValue, double, ulp_error
+
+PCS = PcsFmaUnit()
+FCS = FcsFmaUnit()
+UNITS = [PCS, FCS]
+
+
+def lift(unit, x: float):
+    return ieee_to_cs(double(x), unit.params)
+
+
+def run(unit, a: float, b: float, c: float,
+        trace: FmaTrace | None = None) -> FPValue:
+    return cs_to_ieee(unit.fma(lift(unit, a), double(b), lift(unit, c),
+                               trace))
+
+
+class TestSingleOperationAccuracy:
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    @given(a=normal_doubles(-60, 60), b=normal_doubles(-60, 60),
+           c=normal_doubles(-60, 60))
+    def test_within_one_ulp_of_exact(self, unit, a, b, c):
+        out = run(unit, a, b, c)
+        exact = Fraction(a) + Fraction(b) * Fraction(c)
+        if out.is_normal and exact != 0:
+            assert ulp_error(out, exact) <= 1
+
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    @given(a=normal_doubles(-30, 30), b=normal_doubles(-30, 30))
+    def test_cancellation_stays_accurate(self, unit, a, b):
+        # A + B*C with A ~ -B*C: the leading-zero stress case of
+        # Sec. III-G
+        c = -a / b
+        out = run(unit, a, b, c)
+        exact = Fraction(a) + Fraction(b) * Fraction(c)
+        if exact == 0:
+            assert out.is_zero or abs(out.to_float()) < 1e-300
+        elif out.is_normal:
+            assert ulp_error(out, exact) <= 1
+
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    def test_simple_values(self, unit):
+        assert run(unit, 1.5, 2.0, 3.25).to_float() == 1.5 + 2.0 * 3.25
+        assert run(unit, 0.0, 1.0, 1.0).to_float() == 1.0
+        assert run(unit, -1.0, 1.0, 1.0).is_zero
+
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    @given(a=normal_doubles(-300, 300), b=normal_doubles(-300, 300),
+           c=normal_doubles(-300, 300))
+    def test_wide_exponent_spread(self, unit, a, b, c):
+        out = run(unit, a, b, c)
+        exact = Fraction(a) + Fraction(b) * Fraction(c)
+        if out.is_normal and exact != 0:
+            assert ulp_error(out, exact) <= 1
+
+
+class TestOperandDominanceExtremes:
+    """Exercise the alignment-shifter clamps at both ends."""
+
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    def test_addend_dominates_product(self, unit):
+        out = run(unit, 1e200, 1e-100, 1e-100)
+        assert out.to_float() == 1e200
+
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    def test_product_dominates_addend(self, unit):
+        out = run(unit, 1e-200, 1e50, 1e50)
+        exact = Fraction(double(1e50).to_fraction()) ** 2
+        assert out.is_normal
+        assert ulp_error(out, Fraction(1e-200) + exact) <= 1
+
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    def test_partial_overlap_keeps_low_bits(self, unit):
+        # the addend 2^60 ULPs above the product: both contribute
+        out = run(unit, 2.0 ** 60, 1.0, 1.0)
+        assert out.to_float() == 2.0 ** 60 + 1.0
+
+
+class TestSpecialValues:
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    def test_nan_propagation(self, unit):
+        nan = ieee_to_cs(FPValue.nan(BINARY64), unit.params)
+        assert unit.fma(nan, double(1.0), lift(unit, 1.0)).is_nan
+        assert unit.fma(lift(unit, 1.0), FPValue.nan(BINARY64),
+                        lift(unit, 1.0)).is_nan
+
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    def test_inf_times_zero_is_nan(self, unit):
+        inf_c = ieee_to_cs(FPValue.inf(BINARY64), unit.params)
+        zero_b = FPValue.zero(BINARY64)
+        assert unit.fma(lift(unit, 1.0), zero_b, inf_c).is_nan
+
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    def test_inf_minus_inf_is_nan(self, unit):
+        inf_a = ieee_to_cs(FPValue.inf(BINARY64, 1), unit.params)
+        r = unit.fma(inf_a, double(1.0),
+                     ieee_to_cs(FPValue.inf(BINARY64), unit.params))
+        assert r.is_nan
+
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    def test_inf_product_sign(self, unit):
+        r = unit.fma(lift(unit, 1.0), double(-2.0),
+                     ieee_to_cs(FPValue.inf(BINARY64), unit.params))
+        assert r.is_inf and r.sign == 1
+
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    def test_zero_operands(self, unit):
+        z = ieee_to_cs(FPValue.zero(BINARY64), unit.params)
+        r = unit.fma(z, FPValue.zero(BINARY64), z)
+        assert r.is_zero
+        r = unit.fma(lift(unit, 2.5), FPValue.zero(BINARY64),
+                     lift(unit, 7.0))
+        assert cs_to_ieee(r).to_float() == 2.5
+
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    def test_exponent_overflow_saturates(self, unit):
+        out = run(unit, 1e300, 1e300, 1e300)
+        assert out.is_inf
+
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    def test_result_underflow_flushes(self, unit):
+        out = run(unit, 0.0, 1e-300, 1e-300)
+        # below the CS exponent range the result flushes; lowering the
+        # in-range CS value to binary64 flushes instead
+        assert out.is_zero or out.to_float() == 0.0
+
+
+class TestArchitecturalInvariants:
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    @given(a=normal_doubles(-40, 40), b=normal_doubles(-40, 40),
+           c=normal_doubles(-40, 40))
+    def test_mux_position_within_hardware_range(self, unit, a, b, c):
+        t = FmaTrace()
+        run(unit, a, b, c, t)
+        assert 0 <= t.skipped_blocks <= \
+            unit.params.window_blocks - unit.params.mant_blocks
+
+    @given(a=normal_doubles(-40, 40), b=normal_doubles(-40, 40),
+           c=normal_doubles(-40, 40))
+    def test_pcs_window_carries_are_chunk_aligned(self, a, b, c):
+        t = FmaTrace()
+        run(PCS, a, b, c, t)
+        for i in range(PCS.params.window_width):
+            if (t.window_carry >> i) & 1:
+                assert i % PCS.params.carry_spacing == 0
+
+    @given(a=normal_doubles(-40, 40), b=normal_doubles(-40, 40),
+           c=normal_doubles(-40, 40))
+    def test_fcs_lza_is_lower_bound_on_window_redundancy(self, a, b, c):
+        from repro.cs import leading_sign_bits
+        t = FmaTrace()
+        run(FCS, a, b, c, t)
+        if t.lza_estimate is None:
+            return
+        W = FCS.params.window_width
+        v = (t.window_sum + t.window_carry) & ((1 << W) - 1)
+        assert t.lza_estimate <= leading_sign_bits(v, W)
+
+    @pytest.mark.parametrize("unit", UNITS, ids=lambda u: u.name)
+    @given(a=normal_doubles(-40, 40), b=normal_doubles(-40, 40),
+           c=normal_doubles(-40, 40))
+    def test_result_round_data_respects_format_masks(self, unit, a, b, c):
+        r = unit.fma(lift(unit, a), double(b), lift(unit, c))
+        if r.is_normal:
+            p = unit.params
+            assert r.mant.carry & ~p.mant_carry_mask == 0
+            assert r.round_data.carry & ~p.round_carry_mask == 0
+
+    def test_format_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PCS.fma(lift(FCS, 1.0), double(1.0), lift(FCS, 1.0))
+
+    def test_selector_validation(self):
+        with pytest.raises(ValueError):
+            CSFmaUnit(PCS_PARAMS, selector="magic")
+
+    def test_unit_reprs(self):
+        assert "pcs" in repr(PCS)
+        assert PCS.name == "pcs-fma"
+        assert FCS.name == "fcs-fma"
+
+
+class TestDeferredRounding:
+    def test_round_data_feeds_successor(self):
+        # build a result whose rounding data is non-trivial, feed it as C
+        a, b, c = 1.0, 1.0 + 2.0 ** -30, 1.0 + 2.0 ** -25
+        t1 = PCS.fma(lift(PCS, a), double(b), lift(PCS, c))
+        assert t1.is_normal
+        # chain: 0 + 1.0 * t1 must reproduce t1's value to <= 1 ulp
+        z = ieee_to_cs(FPValue.zero(BINARY64), PCS.params)
+        r = PCS.fma(z, double(1.0), t1)
+        exact = Fraction(a) + Fraction(b) * Fraction(c)
+        out = cs_to_ieee(r)
+        assert ulp_error(out, exact) <= 1
+
+    @given(st.integers(0, 2**54 - 1))
+    def test_decision_threshold(self, frac):
+        from repro.cs import CSNumber
+        from repro.fma import round_decision
+        rd = CSNumber(frac, 0, 55, PCS_PARAMS.round_carry_mask)
+        assert round_decision(rd, 55) == 0   # below half: never up
+        rd2 = CSNumber(frac | (1 << 54), 0, 55, PCS_PARAMS.round_carry_mask)
+        assert round_decision(rd2, 55) == 1  # at/above half: up

@@ -1,0 +1,84 @@
+"""Unit tests for repro.fp.formats."""
+
+import pytest
+
+from repro.fp import (BINARY32, BINARY64, EXTENDED68, EXTENDED75,
+                      FloatFormat, format_by_name)
+
+
+class TestPredefinedFormats:
+    def test_binary64_layout(self):
+        # Fig. 2 of the paper: 1 sign + 11 exponent + 52 mantissa.
+        assert BINARY64.exponent_bits == 11
+        assert BINARY64.fraction_bits == 52
+        assert BINARY64.total_bits == 64
+        assert BINARY64.bias == 1023
+        assert BINARY64.significand_bits == 53
+
+    def test_binary32_layout(self):
+        assert BINARY32.total_bits == 32
+        assert BINARY32.bias == 127
+
+    def test_widened_formats_total_widths(self):
+        # The Fig. 14 reference datapaths are 68 and 75 bits wide.
+        assert EXTENDED68.total_bits == 68
+        assert EXTENDED75.total_bits == 75
+
+    def test_widened_formats_keep_binary64_exponent(self):
+        assert EXTENDED68.exponent_bits == BINARY64.exponent_bits
+        assert EXTENDED75.exponent_bits == BINARY64.exponent_bits
+
+    def test_widened_formats_extend_mantissa(self):
+        assert EXTENDED68.fraction_bits > BINARY64.fraction_bits
+        assert EXTENDED75.fraction_bits > EXTENDED68.fraction_bits
+
+
+class TestDerivedProperties:
+    def test_emax_emin(self):
+        assert BINARY64.emax == 1023
+        assert BINARY64.emin == -1022
+
+    def test_max_biased_exponent(self):
+        assert BINARY64.max_biased_exponent == 2046
+
+    def test_masks(self):
+        assert BINARY64.fraction_mask == (1 << 52) - 1
+        assert BINARY64.exponent_mask == 0x7FF
+
+    def test_ulp_exponent(self):
+        assert BINARY64.ulp_exponent == -52
+
+    def test_describe_mentions_name_and_bias(self):
+        d = BINARY64.describe()
+        assert "binary64" in d
+        assert "1023" in d
+
+
+class TestValidation:
+    def test_rejects_tiny_exponent_field(self):
+        with pytest.raises(ValueError):
+            FloatFormat("bad", exponent_bits=1, fraction_bits=10)
+
+    def test_rejects_empty_fraction(self):
+        with pytest.raises(ValueError):
+            FloatFormat("bad", exponent_bits=8, fraction_bits=0)
+
+    def test_custom_format(self):
+        f = FloatFormat("half", exponent_bits=5, fraction_bits=10)
+        assert f.total_bits == 16
+        assert f.bias == 15
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert format_by_name("binary64") is BINARY64
+        assert format_by_name("extended75") is EXTENDED75
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            format_by_name("binary128")
+
+    def test_formats_are_hashable_value_objects(self):
+        clone = FloatFormat("binary64", 11, 52)
+        assert clone == BINARY64
+        assert hash(clone) == hash(BINARY64)

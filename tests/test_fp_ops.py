@@ -1,0 +1,180 @@
+"""Unit + property tests for the discrete IEEE operators (repro.fp.ops)."""
+
+import math
+from fractions import Fraction
+
+from hypothesis import given
+
+from conftest import normal_doubles
+from repro.fp import (BINARY64, EXTENDED68, FPValue, RoundingMode, as_format,
+                      double, fp_abs, fp_add, fp_fma, fp_mul,
+                      fp_mul_add_discrete, fp_neg, fp_sub, ulp_error)
+
+INF = FPValue.inf(BINARY64)
+NINF = FPValue.inf(BINARY64, 1)
+NAN = FPValue.nan(BINARY64)
+ZERO = FPValue.zero(BINARY64)
+
+
+class TestAddMatchesNativeIEEE:
+    """Python floats are IEEE binary64 round-to-nearest-even, so on
+    normal, non-over/underflowing data our model must agree bit-exactly."""
+
+    @given(normal_doubles(-500, 500), normal_doubles(-500, 500))
+    def test_add(self, x, y):
+        assert fp_add(double(x), double(y)).to_float() == x + y
+
+    @given(normal_doubles(-500, 500), normal_doubles(-500, 500))
+    def test_sub(self, x, y):
+        assert fp_sub(double(x), double(y)).to_float() == x - y
+
+    @given(normal_doubles(-400, 400), normal_doubles(-400, 400))
+    def test_mul(self, x, y):
+        assert fp_mul(double(x), double(y)).to_float() == x * y
+
+    @given(normal_doubles())
+    def test_neg_abs(self, x):
+        assert fp_neg(double(x)).to_float() == -x
+        assert fp_abs(double(x)).to_float() == abs(x)
+
+
+class TestSpecialValues:
+    def test_inf_minus_inf_is_nan(self):
+        assert fp_add(INF, NINF).is_nan
+
+    def test_inf_plus_inf(self):
+        assert fp_add(INF, INF).is_inf
+        assert fp_add(NINF, NINF).sign == 1
+
+    def test_zero_times_inf_is_nan(self):
+        assert fp_mul(ZERO, INF).is_nan
+
+    def test_nan_propagates(self):
+        assert fp_add(NAN, double(1.0)).is_nan
+        assert fp_mul(double(1.0), NAN).is_nan
+        assert fp_fma(NAN, double(1.0), double(1.0)).is_nan
+
+    def test_mul_sign_of_zero(self):
+        r = fp_mul(double(-2.0), ZERO)
+        assert r.is_zero and r.sign == 1
+
+    def test_exact_cancellation_gives_positive_zero(self):
+        r = fp_add(double(1.5), double(-1.5))
+        assert r.is_zero and r.sign == 0
+
+    def test_exact_cancellation_negative_zero_toward_neg_inf(self):
+        r = fp_add(double(1.5), double(-1.5),
+                   mode=RoundingMode.TO_NEG_INF)
+        assert r.is_zero and r.sign == 1
+
+    def test_fma_inf_cases(self):
+        assert fp_fma(INF, double(1.0), double(1.0)).is_inf
+        assert fp_fma(NINF, double(1.0), INF).is_nan      # inf - inf
+        assert fp_fma(double(1.0), ZERO, INF).is_nan      # 0 * inf
+        assert fp_fma(double(1.0), double(-1.0), INF).sign == 1
+
+    def test_overflow_saturates_to_inf(self):
+        big = double(1.7e308)
+        assert fp_add(big, big).is_inf
+        assert fp_mul(big, big).is_inf
+
+
+class TestFusedVsDiscrete:
+    """The fused FMA rounds once; the discrete path twice.  The fused
+    result is always at least as accurate (Sec. I-B motivation)."""
+
+    @given(normal_doubles(-50, 50), normal_doubles(-50, 50),
+           normal_doubles(-50, 50))
+    def test_fused_matches_exact_rounding(self, a, b, c):
+        exact = Fraction(a) + Fraction(b) * Fraction(c)
+        got = fp_fma(double(a), double(b), double(c))
+        want = FPValue.from_fraction(exact, BINARY64)
+        assert got == want
+
+    @given(normal_doubles(-50, 50), normal_doubles(-50, 50),
+           normal_doubles(-50, 50))
+    def test_fused_never_less_accurate(self, a, b, c):
+        exact = Fraction(a) + Fraction(b) * Fraction(c)
+        if exact == 0:
+            return
+        fused = fp_fma(double(a), double(b), double(c))
+        disc = fp_mul_add_discrete(double(a), double(b), double(c))
+        if not (fused.is_normal and disc.is_normal):
+            return
+        assert abs(fused.to_fraction() - exact) <= \
+            abs(disc.to_fraction() - exact)
+
+    @given(normal_doubles(-30, 30), normal_doubles(-30, 30),
+           normal_doubles(-30, 30))
+    def test_fused_error_at_most_half_ulp(self, a, b, c):
+        exact = Fraction(a) + Fraction(b) * Fraction(c)
+        r = fp_fma(double(a), double(b), double(c))
+        if r.is_normal and exact != 0:
+            assert ulp_error(r, exact) <= Fraction(1, 2)
+
+    def test_discrete_loses_the_product_tail(self):
+        # b*c needs 106 bits; the discrete path rounds it away before
+        # adding, the fused path keeps it.
+        a = double(1.0)
+        b = double(1.0 + 2.0 ** -52)
+        c = double(1.0 + 2.0 ** -52)
+        fused = fp_fma(fp_neg(double(1.0 + 2.0 ** -51)), b, c)
+        disc = fp_mul_add_discrete(fp_neg(double(1.0 + 2.0 ** -51)), b, c)
+        assert fused.to_float() != disc.to_float()
+        exact = -Fraction(1 + Fraction(1, 2**51)) + \
+            Fraction(b.to_fraction()) * Fraction(c.to_fraction())
+        assert fused.to_fraction() == exact
+        _ = a
+
+
+class TestMixedFormats:
+    @given(normal_doubles(-100, 100), normal_doubles(-100, 100))
+    def test_widened_add_is_more_accurate(self, x, y):
+        exact = Fraction(x) + Fraction(y)
+        wide = fp_add(FPValue.from_float(x, EXTENDED68),
+                      FPValue.from_float(y, EXTENDED68), fmt=EXTENDED68)
+        narrow = fp_add(double(x), double(y))
+        if exact == 0:
+            return
+        assert abs(wide.to_fraction() - exact) <= \
+            abs(narrow.to_fraction() - exact)
+
+    @given(normal_doubles())
+    def test_as_format_roundtrip_through_wider(self, x):
+        v = double(x)
+        wide = as_format(v, EXTENDED68)
+        back = as_format(wide, BINARY64)
+        assert back.to_float() == x
+
+    def test_as_format_specials(self):
+        assert as_format(INF, EXTENDED68).is_inf
+        assert as_format(NAN, EXTENDED68).is_nan
+        z = as_format(FPValue.zero(BINARY64, 1), EXTENDED68)
+        assert z.is_zero and z.sign == 1
+
+
+class TestCommutativityAndIdentities:
+    @given(normal_doubles(-200, 200), normal_doubles(-200, 200))
+    def test_add_commutes(self, x, y):
+        assert fp_add(double(x), double(y)) == fp_add(double(y), double(x))
+
+    @given(normal_doubles(-200, 200), normal_doubles(-200, 200))
+    def test_mul_commutes(self, x, y):
+        assert fp_mul(double(x), double(y)) == fp_mul(double(y), double(x))
+
+    @given(normal_doubles())
+    def test_add_zero_identity(self, x):
+        assert fp_add(double(x), ZERO).to_float() == x
+
+    @given(normal_doubles(-500, 500))
+    def test_mul_one_identity(self, x):
+        assert fp_mul(double(x), double(1.0)).to_float() == x
+
+    @given(normal_doubles(-500, 500))
+    def test_fma_degenerates_to_add(self, x):
+        # a + 1*c == a + c with a single rounding either way
+        r = fp_fma(double(x), double(1.0), double(2.5))
+        assert r.to_float() == x + 2.5
+
+    def test_double_helper(self):
+        assert double(math.pi).to_float() == math.pi

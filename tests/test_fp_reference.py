@@ -1,0 +1,103 @@
+"""Tests for the exact-arithmetic oracle (repro.fp.reference)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from conftest import normal_doubles
+from repro.fp import (BINARY64, ExactTrace, FPValue, double,
+                      mantissa_error_bits, run_recurrence_exact,
+                      ulp_error)
+
+
+class TestExactTrace:
+    def test_seed_and_fma(self):
+        t = ExactTrace()
+        t.seed(1, Fraction(1, 2), 0.25)
+        assert t.values == [1, Fraction(1, 2), Fraction(1, 4)]
+        r = t.fma(Fraction(1), Fraction(2), Fraction(3))
+        assert r == 7
+        assert t.last == 7
+
+    def test_trace_is_exact_over_many_steps(self):
+        t = ExactTrace()
+        t.seed(Fraction(1, 3))
+        acc = Fraction(1, 3)
+        for k in range(1, 20):
+            acc = t.fma(acc, Fraction(1, k), Fraction(k, k + 1))
+        assert t.last == acc
+
+
+class TestRecurrenceOracle:
+    def test_matches_hand_computation(self):
+        xs = run_recurrence_exact([2.0], [0.5], [1.0, 2.0, 4.0], 1)
+        # x3 = b1*x2 + b2*x1 + x0 = 2*4 + 0.5*2 + 1
+        assert xs[-1] == 10
+
+    def test_length(self):
+        xs = run_recurrence_exact([1.0] * 5, [0.0] * 5,
+                                  [1.0, 1.0, 1.0], 5)
+        assert len(xs) == 8
+
+    def test_exactness_no_rounding(self):
+        b1 = [1.0 / 3.0] * 10   # the *double* 1/3, used exactly
+        b2 = [0.1] * 10
+        xs = run_recurrence_exact(b1, b2, [1.0, 1.0, 1.0], 10)
+        # recompute independently
+        v = [Fraction(1), Fraction(1), Fraction(1)]
+        for n in range(10):
+            v.append(Fraction(1.0 / 3.0) * v[-1] + Fraction(0.1) * v[-2]
+                     + v[-3])
+        assert xs == v
+
+
+class TestErrorMetrics:
+    def test_mantissa_error_bits_identity(self):
+        assert mantissa_error_bits(Fraction(5), Fraction(5)) == 0.0
+
+    def test_mantissa_error_bits_total_loss(self):
+        assert mantissa_error_bits(Fraction(1), Fraction(0)) == 52.0
+
+    def test_mantissa_error_bits_monotone(self):
+        small = mantissa_error_bits(Fraction(1) + Fraction(1, 2 ** 50),
+                                    Fraction(1))
+        large = mantissa_error_bits(Fraction(1) + Fraction(1, 2 ** 10),
+                                    Fraction(1))
+        assert 0 < small < large <= 52.0
+
+    @given(normal_doubles(-100, 100))
+    def test_ulp_error_zero_for_exact(self, x):
+        v = double(x)
+        assert ulp_error(v, v.to_fraction()) == 0
+
+    def test_ulp_error_half_ulp_for_nearest(self):
+        # a value exactly halfway between two doubles
+        x = double(1.0)
+        exact = Fraction(1) + Fraction(1, 2 ** 53)
+        assert ulp_error(x, exact) == Fraction(1, 2)
+
+    def test_ulp_error_of_zero_value(self):
+        z = FPValue.zero(BINARY64)
+        assert ulp_error(z, Fraction(0)) == 0
+
+    def test_ulp_error_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            ulp_error(FPValue.inf(BINARY64), Fraction(1))
+
+
+class TestSliceInvariant:
+    """The window-slice epsilon property the FCS selection relies on:
+    slicing a CS pair at position `lo` loses at most one slice-LSB ULP."""
+
+    @given(st.integers(8, 60), st.data())
+    def test_slice_value_error_at_most_one(self, w, data):
+        lo = data.draw(st.integers(1, w - 4))
+        s = data.draw(st.integers(0, (1 << w) - 1))
+        c = data.draw(st.integers(0, (1 << w) - 1))
+        hi = w
+        mw = hi - lo
+        slice_sum = ((s >> lo) + (c >> lo)) % (1 << (mw + 1))
+        true_shifted = ((s + c) >> lo) % (1 << (mw + 1))
+        # (s>>lo)+(c>>lo) differs from (s+c)>>lo by the lost low carry
+        assert true_shifted - slice_sum in (0, 1)

@@ -1,0 +1,94 @@
+"""Unit + property tests for repro.fp.rounding."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fp import (RoundingMode, round_fraction_to_int, round_scaled,
+                      shift_right_round)
+
+F = Fraction
+RM = RoundingMode
+
+
+class TestNearestEven:
+    @pytest.mark.parametrize("value,expected", [
+        (F(1, 2), 0), (F(3, 2), 2), (F(5, 2), 2), (F(7, 2), 4),
+        (F(-1, 2), 0), (F(-3, 2), -2),
+        (F(1, 4), 0), (F(3, 4), 1), (F(5, 4), 1),
+    ])
+    def test_ties_to_even(self, value, expected):
+        assert round_fraction_to_int(value, RM.NEAREST_EVEN) == expected
+
+    @given(st.integers(-10**9, 10**9))
+    def test_integers_exact(self, n):
+        assert round_fraction_to_int(F(n), RM.NEAREST_EVEN) == n
+
+
+class TestHalfAway:
+    @pytest.mark.parametrize("value,expected", [
+        (F(1, 2), 1), (F(3, 2), 2), (F(5, 2), 3),
+        (F(-1, 2), -1), (F(-5, 2), -3),
+        (F(49, 100), 0), (F(51, 100), 1),
+    ])
+    def test_half_rounds_away(self, value, expected):
+        assert round_fraction_to_int(value, RM.HALF_AWAY) == expected
+
+
+class TestDirectedModes:
+    @pytest.mark.parametrize("value,mode,expected", [
+        (F(1, 3), RM.TRUNCATE, 0), (F(-1, 3), RM.TRUNCATE, 0),
+        (F(5, 3), RM.TRUNCATE, 1), (F(-5, 3), RM.TRUNCATE, -1),
+        (F(1, 3), RM.TO_POS_INF, 1), (F(-1, 3), RM.TO_POS_INF, 0),
+        (F(1, 3), RM.TO_NEG_INF, 0), (F(-1, 3), RM.TO_NEG_INF, -1),
+    ])
+    def test_direction(self, value, mode, expected):
+        assert round_fraction_to_int(value, mode) == expected
+
+
+class TestRoundScaled:
+    def test_positive_scale(self):
+        # round(10 / 2^2) = round(2.5) -> 2 (ties to even)
+        assert round_scaled(F(10), 2, RM.NEAREST_EVEN) == 2
+
+    def test_negative_scale(self):
+        # round(2.5 * 2^1) = 5 exact
+        assert round_scaled(F(5, 2), -1, RM.NEAREST_EVEN) == 5
+
+    @given(st.fractions(min_value=-1000, max_value=1000),
+           st.integers(-8, 8))
+    def test_matches_direct_division(self, v, e):
+        scaled = v / F(2) ** e
+        assert round_scaled(v, e, RM.HALF_AWAY) == \
+            round_fraction_to_int(scaled, RM.HALF_AWAY)
+
+
+class TestShiftRightRound:
+    @given(st.integers(-2**64, 2**64), st.integers(0, 40),
+           st.sampled_from(list(RM)))
+    def test_consistent_with_fraction_rounding(self, sig, shift, mode):
+        want = round_fraction_to_int(F(sig, 1 << shift), mode)
+        assert shift_right_round(sig, shift, mode) == want
+
+    @given(st.integers(-2**32, 2**32), st.integers(0, 16))
+    def test_nonpositive_shift_is_exact(self, sig, shift):
+        assert shift_right_round(sig, -shift, RM.TRUNCATE) == sig << shift
+
+    def test_truncation_of_negative_is_toward_zero(self):
+        # matches IEEE round-toward-zero, not a raw arithmetic shift
+        assert shift_right_round(-5, 1, RM.TRUNCATE) == -2
+
+
+class TestErrorBound:
+    @given(st.fractions(min_value=-10**6, max_value=10**6),
+           st.sampled_from(list(RM)))
+    def test_rounding_error_below_one(self, v, mode):
+        r = round_fraction_to_int(v, mode)
+        assert abs(F(r) - v) < 1
+
+    @given(st.fractions(min_value=-10**6, max_value=10**6),
+           st.sampled_from([RM.NEAREST_EVEN, RM.HALF_AWAY]))
+    def test_nearest_modes_error_at_most_half(self, v, mode):
+        r = round_fraction_to_int(v, mode)
+        assert abs(F(r) - v) <= F(1, 2)

@@ -1,0 +1,114 @@
+"""Tests for the cycle-accurate schedule executor (repro.hls.execute)."""
+
+import pytest
+
+from repro.fma import fcs_engine
+from repro.hls import (ScheduleViolation, asap_schedule,
+                       default_library, execute_schedule,
+                       format_issue_trace, list_schedule, parse_program,
+                       run_fma_insertion, simulate)
+
+SRC = """
+t = a*b + c*d;
+y = e*t + f;
+"""
+INPUTS = {n: float(i + 2) for i, n in enumerate("abcdef")}
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+class TestLegalSchedules:
+    def test_asap_schedule_executes(self, lib):
+        g = parse_program(SRC)
+        sched = asap_schedule(g, lib)
+        res = execute_schedule(g, sched, lib, INPUTS)
+        assert res.outputs == simulate(g, INPUTS)
+        assert res.cycles == sched.length
+
+    def test_list_schedule_executes_with_limits(self):
+        lib = default_library()
+        lib.limits["mul"] = 1
+        g = parse_program(SRC)
+        sched = list_schedule(g, lib)
+        res = execute_schedule(g, sched, lib, INPUTS)
+        assert res.peak_usage.get("mul", 0) <= 1
+        assert res.outputs == simulate(g, INPUTS)
+
+    def test_fma_schedule_executes_with_engine(self):
+        lib = default_library(fma_flavor="fcs", fma_limit=2)
+        g = parse_program(SRC)
+        run_fma_insertion(g, lib)
+        sched = list_schedule(g, lib)
+        res = execute_schedule(g, sched, lib, INPUTS,
+                               engine=fcs_engine())
+        ref = simulate(parse_program(SRC), INPUTS)
+        assert res.outputs["y"] == pytest.approx(ref["y"], rel=1e-12)
+        assert res.peak_usage.get("fma-fcs", 0) <= 2
+
+    def test_issue_trace_formatting(self, lib):
+        g = parse_program(SRC)
+        sched = asap_schedule(g, lib)
+        res = execute_schedule(g, sched, lib, INPUTS)
+        text = format_issue_trace(res, g)
+        assert "cycle" in text and "mul" in text
+
+
+class TestViolationDetection:
+    def test_dependence_violation_detected(self, lib):
+        g = parse_program(SRC)
+        sched = asap_schedule(g, lib)
+        # sabotage: pull the output's producer to cycle 0
+        victim = g.predecessors(g.outputs()[0])[0]
+        sched.start[victim] = 0
+        with pytest.raises(ScheduleViolation, match="finishes at"):
+            execute_schedule(g, sched, lib, INPUTS)
+
+    def test_resource_violation_detected(self):
+        lib = default_library()
+        lib.limits["mul"] = 1
+        g = parse_program("p = a*b;\nq = c*d;\n", outputs=["p", "q"])
+        sched = asap_schedule(g, lib)  # issues both muls at cycle 0
+        with pytest.raises(ScheduleViolation, match="exceed"):
+            execute_schedule(g, sched, lib, INPUTS)
+
+    def test_unscheduled_node_detected(self, lib):
+        g = parse_program(SRC)
+        sched = asap_schedule(g, lib)
+        sched.start.pop(g.outputs()[0])
+        with pytest.raises(ScheduleViolation, match="unscheduled"):
+            execute_schedule(g, sched, lib, INPUTS)
+
+    def test_foreign_schedule_rejected(self, lib):
+        g = parse_program(SRC)
+        other = parse_program(SRC)
+        sched = asap_schedule(other, lib)
+        with pytest.raises(ValueError):
+            execute_schedule(g, sched, lib, INPUTS)
+
+
+class TestListSchedulerLegality:
+    """Regression for the max-operand-finish bug the executor caught."""
+
+    @pytest.mark.parametrize("flavor", ["pcs", "fcs"])
+    def test_solver_kernel_schedules_are_legal(self, flavor):
+        from repro.solvers import generate_kernel, trajectory_problem
+        kernel = generate_kernel(trajectory_problem(4, 1))
+        g = parse_program(kernel.source, outputs=kernel.output_names)
+        lib = default_library(fma_flavor=flavor, fma_limit=39)
+        run_fma_insertion(g, lib)
+        sched = list_schedule(g, lib)
+        for n in g.nodes.values():
+            for op in n.operands:
+                assert sched.start[n.id] >= \
+                    sched.start[op] + lib.latency(g.nodes[op])
+
+    def test_mixed_latency_operands(self, lib):
+        # an op whose operands are a free INPUT and a 5-cycle MUL must
+        # wait for the mul even though the input "completes" first
+        g = parse_program("y = a*b + c;")
+        sched = list_schedule(g, lib)
+        res = execute_schedule(g, sched, lib, dict(a=2.0, b=3.0, c=1.0))
+        assert res.outputs["y"] == 7.0

@@ -1,0 +1,157 @@
+"""Tests for the Fig. 12 FMA-insertion pass."""
+
+import random
+
+import pytest
+
+from repro.fma import fcs_engine, pcs_engine
+from repro.hls import (OpKind, asap_schedule, default_library,
+                       parse_program, run_fma_insertion, simulate)
+
+LISTING1 = """
+x1 = a*b + c*d;
+x2 = e*f + g*x1;
+x3 = h*i + k*x2;
+"""
+
+LISTING1_INPUTS = list("abcdefghik")
+
+
+def fresh(src=LISTING1, outputs=None):
+    return parse_program(src, outputs=outputs)
+
+
+class TestBasicRewrite:
+    def test_all_critical_adds_become_fmas(self):
+        g = fresh()
+        lib = default_library(fma_flavor="pcs")
+        rep = run_fma_insertion(g, lib)
+        assert g.op_count(OpKind.ADD) == 0
+        assert g.op_count(OpKind.FMA) == 3
+        assert rep.fma_inserted == 3
+
+    def test_chained_fmas_have_no_intermediate_conversions(self):
+        # Fig. 12c: after cleanup, CS values flow directly between FMAs
+        g = fresh()
+        lib = default_library(fma_flavor="fcs")
+        rep = run_fma_insertion(g, lib)
+        assert rep.converters_removed > 0
+        for n in g.nodes.values():
+            if n.kind is OpKind.I2C:
+                src = g.nodes[n.operands[0]]
+                assert src.kind is not OpKind.C2I
+
+    def test_schedule_length_reduced_fcs(self):
+        g = fresh()
+        lib = default_library(fma_flavor="fcs")
+        rep = run_fma_insertion(g, lib)
+        assert rep.final_length < rep.baseline_length
+        assert rep.reduction_percent > 20
+
+    def test_pcs_reduction_on_listing1(self):
+        g = fresh()
+        lib = default_library(fma_flavor="pcs")
+        rep = run_fma_insertion(g, lib)
+        assert rep.final_length < rep.baseline_length
+
+    def test_pass_is_idempotent(self):
+        g = fresh()
+        lib = default_library(fma_flavor="fcs")
+        run_fma_insertion(g, lib)
+        length = asap_schedule(g, lib).length
+        rep2 = run_fma_insertion(g, lib)
+        assert rep2.fma_inserted == 0
+        assert asap_schedule(g, lib).length == length
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("flavor,engine", [
+        ("pcs", pcs_engine), ("fcs", fcs_engine)])
+    def test_listing1_values_unchanged(self, flavor, engine):
+        rng = random.Random(0)
+        eng = engine()
+        for _ in range(10):
+            ins = {n: rng.uniform(-10, 10) for n in LISTING1_INPUTS}
+            g = fresh()
+            before = simulate(g, ins)
+            run_fma_insertion(g, default_library(fma_flavor=flavor))
+            after = simulate(g, ins, engine=eng)
+            for k in before:
+                assert after[k] == pytest.approx(before[k], rel=1e-13)
+
+    @pytest.mark.parametrize("flavor,engine", [
+        ("pcs", pcs_engine), ("fcs", fcs_engine)])
+    def test_subtractions_fold_correctly(self, flavor, engine):
+        src = """
+        t1 = a - b*c;
+        t2 = b*c - a;
+        y = t1*d - e*t2;
+        """
+        rng = random.Random(1)
+        eng = engine()
+        for _ in range(10):
+            ins = {n: rng.uniform(-5, 5) for n in "abcde"}
+            g = fresh(src, outputs=["y"])
+            before = simulate(g, ins)
+            run_fma_insertion(g, default_library(fma_flavor=flavor))
+            after = simulate(g, ins, engine=eng)
+            assert after["y"] == pytest.approx(before["y"], rel=1e-12,
+                                               abs=1e-12)
+
+    def test_shared_product_not_fused(self):
+        # a product with two consumers must stay a discrete multiply
+        src = """
+        p = a*b;
+        y1 = p + c;
+        y2 = p + d;
+        """
+        g = fresh(src, outputs=["y1", "y2"])
+        lib = default_library(fma_flavor="fcs")
+        run_fma_insertion(g, lib)
+        assert g.op_count(OpKind.MUL) >= 1
+        # and the graph still computes the right thing
+        ins = dict(a=2.0, b=3.0, c=1.0, d=-1.0)
+        out = simulate(g, ins, engine=fcs_engine())
+        assert out["y1"] == 7.0 and out["y2"] == 5.0
+
+
+class TestGraphHygiene:
+    def test_no_dead_nodes_left(self):
+        g = fresh()
+        lib = default_library(fma_flavor="pcs")
+        run_fma_insertion(g, lib)
+        pruned = g.prune_dead()
+        assert pruned == 0
+
+    def test_graph_validates_after_pass(self):
+        g = fresh()
+        run_fma_insertion(g, default_library(fma_flavor="fcs"))
+        g.validate()  # raises on type/shape violations
+
+    def test_report_fields(self):
+        g = fresh()
+        rep = run_fma_insertion(g, default_library(fma_flavor="fcs"))
+        assert rep.iterations >= 1
+        assert sum(rep.fma_per_round) == rep.fma_inserted
+        assert 0 <= rep.reduction_percent <= 100
+
+
+class TestLdlsolveShape:
+    """Integration with the solver codegen (a mini Fig. 15)."""
+
+    def test_small_kernel_reductions(self):
+        from repro.solvers import generate_kernel, trajectory_problem
+        kernel = generate_kernel(trajectory_problem(4, 1))
+        lengths = {}
+        for flavor in ("pcs", "fcs"):
+            g = parse_program(kernel.source, outputs=kernel.output_names)
+            lib = default_library(fma_flavor=flavor)
+            rep = run_fma_insertion(g, lib)
+            lengths[flavor] = (rep.baseline_length, rep.final_length)
+        for flavor, (base, final) in lengths.items():
+            assert final < base
+        # FCS gains exceed PCS gains (Fig. 15: "note the higher
+        # performance gains achievable using the FCS approach")
+        pcs_red = 1 - lengths["pcs"][1] / lengths["pcs"][0]
+        fcs_red = 1 - lengths["fcs"][1] / lengths["fcs"][0]
+        assert fcs_red > pcs_red

@@ -1,0 +1,92 @@
+"""Tests for the C-like frontend (repro.hls.frontend)."""
+
+import pytest
+
+from repro.hls import OpKind, ParseError, parse_program, simulate
+
+LISTING1 = """
+x[1] = a*b + c*d;
+x[2] = e*f + g*x[1];
+x[3] = h*i + k*x[2];
+"""
+
+
+class TestListing1:
+    """The paper's Listing 1 must parse into the Fig. 1 CDFG."""
+
+    def test_structure(self):
+        g = parse_program(LISTING1)
+        assert g.op_count(OpKind.MUL) == 6
+        assert g.op_count(OpKind.ADD) == 3
+        assert g.op_count(OpKind.INPUT) == 10
+        assert [g.nodes[o].name for o in g.outputs()] == ["x[3]"]
+
+    def test_values(self):
+        g = parse_program(LISTING1)
+        ins = dict(a=1, b=2, c=3, d=4, e=5, f=6, g=7, h=8, i=9, k=10)
+        ins = {k_: float(v) for k_, v in ins.items()}
+        x1 = 1 * 2 + 3 * 4
+        x2 = 5 * 6 + 7 * x1
+        x3 = 8 * 9 + 10 * x2
+        out = simulate(g, ins)
+        assert out["x[3]"] == x3
+
+
+class TestExpressions:
+    def test_precedence(self):
+        g = parse_program("y = a + b*c;")
+        assert simulate(g, dict(a=1.0, b=2.0, c=3.0))["y"] == 7.0
+
+    def test_parentheses(self):
+        g = parse_program("y = (a + b)*c;")
+        assert simulate(g, dict(a=1.0, b=2.0, c=3.0))["y"] == 9.0
+
+    def test_subtraction_left_assoc(self):
+        g = parse_program("y = a - b - c;")
+        assert simulate(g, dict(a=10.0, b=3.0, c=2.0))["y"] == 5.0
+
+    def test_unary_minus(self):
+        g = parse_program("y = -a*b;")
+        assert simulate(g, dict(a=2.0, b=3.0))["y"] == -6.0
+
+    def test_literals(self):
+        g = parse_program("y = 2.5*a + 1;")
+        assert simulate(g, dict(a=2.0))["y"] == 6.0
+
+    def test_scientific_literals(self):
+        g = parse_program("y = 1.5e2 + a;")
+        assert simulate(g, dict(a=0.5))["y"] == 150.5
+
+    def test_comments_ignored(self):
+        g = parse_program("// header\ny = a + b; /* inline */\n")
+        assert simulate(g, dict(a=1.0, b=2.0))["y"] == 3.0
+
+    def test_rebinding_names(self):
+        g = parse_program("t = a + b;\nt = t*c;\n")
+        assert simulate(g, dict(a=1.0, b=2.0, c=4.0))["t"] == 12.0
+
+
+class TestOutputs:
+    def test_default_outputs_are_live_out(self):
+        g = parse_program("t = a + b;\ny = t*c;\n")
+        names = {g.nodes[o].name for o in g.outputs()}
+        assert names == {"y"}
+
+    def test_explicit_outputs(self):
+        g = parse_program("t = a + b;\ny = t*c;\n", outputs=["t", "y"])
+        names = {g.nodes[o].name for o in g.outputs()}
+        assert names == {"t", "y"}
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("y = a;", outputs=["z"])
+
+
+class TestErrors:
+    @pytest.mark.parametrize("src", [
+        "y = ;", "y = a +;", "= a;", "y a;", "y = a", "y = (a;",
+        "y = a $ b;", "",
+    ])
+    def test_malformed(self, src):
+        with pytest.raises(ParseError):
+            parse_program(src)

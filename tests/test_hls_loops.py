@@ -1,0 +1,121 @@
+"""Tests for the loop-unrolling pre-pass (repro.hls.frontend.expand_loops)."""
+
+import pytest
+
+from repro.fma import fcs_engine
+from repro.hls import (OpKind, ParseError, default_library, parse_program,
+                       run_fma_insertion, simulate)
+from repro.hls.frontend import expand_loops
+
+
+class TestExpansion:
+    def test_simple_counted_loop(self):
+        src = "for (i = 0; i < 3; i++) { y[i] = x[i]*2.0; }"
+        out = expand_loops(src)
+        assert "for" not in out
+        assert "y[0]" in out and "y[2]" in out
+
+    def test_step_form(self):
+        src = "for (i = 0; i < 6; i = i + 2) { y[i] = x[i]; }"
+        out = expand_loops(src)
+        assert "y[0]" in out and "y[2]" in out and "y[4]" in out
+        assert "y[1]" not in out
+
+    def test_index_arithmetic(self):
+        src = "for (i = 1; i < 3; i++) { a[i*10+1] = b[i-1]; }"
+        out = expand_loops(src)
+        assert "a[11]" in out and "a[21]" in out
+        assert "b[0]" in out and "b[1]" in out
+
+    def test_bare_variable_use(self):
+        src = "for (i = 0; i < 2; i++) { y[i] = x[i]*i; }"
+        g = parse_program(src, outputs=["y[0]", "y[1]"])
+        out = simulate(g, {"x[0]": 5.0, "x[1]": 5.0})
+        assert out["y[0]"] == 0.0 and out["y[1]"] == 5.0
+
+    def test_zero_trip_loop(self):
+        out = expand_loops("for (i = 3; i < 3; i++) { y[i] = x[i]; }")
+        assert "y[" not in out
+
+    def test_nested_loops(self):
+        src = """
+        for (r = 0; r < 2; r++) {
+            for (c = 0; c < 2; c++) {
+                m[r][c] = a[r]*b[c];
+            }
+        }
+        """
+        out = expand_loops(src)
+        for r in range(2):
+            for c in range(2):
+                assert f"m[{r}][{c}]" in out
+
+    def test_triangular_loop(self):
+        # inner bound depends on the outer variable
+        src = """
+        for (i = 1; i < 4; i++) {
+            for (j = 0; j < i; j++) {
+                t[i][j] = a[i]*a[j];
+            }
+        }
+        """
+        out = expand_loops(src)
+        assert "t[3][2]" in out
+        assert "t[1][1]" not in out
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(ParseError):
+            expand_loops("for (i = 0; i < 2; i++) { y[i] = x[i];")
+
+    def test_unknown_index_name_passes_through_uneval(self):
+        # an index naming something that is not a loop variable is left
+        # as an opaque array name for the parser (never executed)
+        out = expand_loops(
+            "for (i = 0; i < 1; i++) { y[other] = x[i]; }")
+        assert "y[other]" in out and "x[0]" in out
+
+    def test_dangerous_index_charset_rejected(self):
+        with pytest.raises(ParseError, match="unsupported index"):
+            expand_loops(
+                "for (i = 0; i < 1; i++) { y[i.__class__] = x[i]; }")
+
+    def test_non_integer_index_rejected(self):
+        with pytest.raises(ParseError):
+            expand_loops("for (i = 0; i < 2; i++) { y[i/3] = x[i]; }")
+            # i/3 evaluates to a float -> rejected
+        # (the call above raises inside expand_loops)
+
+
+class TestFirKernel:
+    SRC = """
+    acc[0] = 0;
+    for (i = 0; i < 8; i++) {
+        acc[i+1] = acc[i] + h[i]*x[i];
+    }
+    y = acc[8];
+    """
+
+    def inputs(self):
+        ins = {f"h[{i}]": 0.5 + i for i in range(8)}
+        ins.update({f"x[{i}]": 1.0 / (i + 1) for i in range(8)})
+        return ins
+
+    def test_fir_value(self):
+        g = parse_program(self.SRC, outputs=["y"])
+        ref = 0.0
+        ins = self.inputs()
+        for i in range(8):
+            ref = ref + ins[f"h[{i}]"] * ins[f"x[{i}]"]
+        assert simulate(g, ins)["y"] == ref
+
+    def test_fir_becomes_fma_chain(self):
+        g = parse_program(self.SRC, outputs=["y"])
+        lib = default_library(fma_flavor="fcs")
+        rep = run_fma_insertion(g, lib)
+        assert g.op_count(OpKind.FMA) == 8
+        assert g.op_count(OpKind.ADD) == 0
+        assert rep.reduction_percent > 20
+        out = simulate(g, self.inputs(), engine=fcs_engine())
+        g0 = parse_program(self.SRC, outputs=["y"])
+        ref = simulate(g0, self.inputs())
+        assert out["y"] == pytest.approx(ref["y"], rel=1e-13)

@@ -1,0 +1,129 @@
+"""Tests for scheduling and critical-path analysis."""
+
+import pytest
+
+from repro.hls import (CDFG, OpKind, alap_schedule, asap_schedule,
+                       critical_nodes, critical_path_length,
+                       default_library, list_schedule, longest_path_nodes,
+                       node_slack, parse_program)
+
+LISTING1 = """
+x1 = a*b + c*d;
+x2 = e*f + g*x1;
+x3 = h*i + k*x2;
+"""
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+class TestOperatorLibrary:
+    def test_paper_latencies(self, lib):
+        # CoreGen low-latency configurations: 5-cycle mul, 4-cycle add
+        assert lib.specs["mul"].latency == 5
+        assert lib.specs["add"].latency == 4
+        assert lib.specs["fma-pcs"].latency == 5
+
+    def test_fcs_latency(self):
+        lib = default_library(fma_flavor="fcs")
+        assert lib.specs["fma-fcs"].latency == 3
+
+    def test_converter_asymmetry(self, lib):
+        assert lib.specs["i2c"].latency < lib.specs["c2i"].latency
+
+    def test_invalid_flavor(self):
+        with pytest.raises(ValueError):
+            default_library(fma_flavor="xyz")
+
+
+class TestAsapAlap:
+    def test_listing1_critical_path(self, lib):
+        # three chained mul(5)+add(4) pairs: the adds chain, the first
+        # mul feeds the first add: 5 + 3*4 ... the dependent chain is
+        # mul(5), add(4), add needs g*x1 -> mul(5), add(4), ...
+        g = parse_program(LISTING1)
+        length = critical_path_length(g, lib)
+        # chain: mul(c*d? ...) -> add -> mul(g*x1) -> add -> mul -> add
+        assert length == 5 + 4 + 5 + 4 + 5 + 4
+
+    def test_alap_no_earlier_than_asap(self, lib):
+        g = parse_program(LISTING1)
+        asap = asap_schedule(g, lib)
+        alap = alap_schedule(g, lib)
+        for nid in g.nodes:
+            assert alap.start[nid] >= asap.start[nid]
+        assert alap.length == asap.length
+
+    def test_slack_zero_on_critical_chain(self, lib):
+        g = parse_program(LISTING1)
+        slack = node_slack(g, lib)
+        crit = critical_nodes(g, lib)
+        assert crit == {nid for nid, s in slack.items() if s == 0}
+        # at least the final add and output must be critical
+        out = g.outputs()[0]
+        assert out in crit
+        assert g.predecessors(out)[0] in crit
+
+    def test_longest_path_is_contiguous(self, lib):
+        g = parse_program(LISTING1)
+        asap = asap_schedule(g, lib)
+        path = longest_path_nodes(g, lib)
+        for a, b in zip(path, path[1:]):
+            assert a in g.predecessors(b)
+            assert asap.finish(a) == asap.start[b]
+
+
+class TestListSchedule:
+    def test_unconstrained_matches_asap(self, lib):
+        g = parse_program(LISTING1)
+        assert list_schedule(g, lib).length == \
+            asap_schedule(g, lib).length
+
+    def test_respects_dependences(self, lib):
+        g = parse_program(LISTING1)
+        s = list_schedule(g, lib)
+        for n in g.nodes.values():
+            for op in n.operands:
+                assert s.start[op] + lib.latency(g.nodes[op]) <= \
+                    s.start[n.id]
+
+    def test_resource_limit_serializes(self):
+        # 8 independent multiplies on 2 units: at most 2 issues/cycle
+        src = "".join(f"y{i} = a{i}*b{i};\n" for i in range(8))
+        g = parse_program(src, outputs=[f"y{i}" for i in range(8)])
+        lib = default_library()
+        lib.limits["mul"] = 2
+        s = list_schedule(g, lib)
+        per_cycle = {}
+        for nid, t in s.start.items():
+            if g.nodes[nid].kind is OpKind.MUL:
+                per_cycle[t] = per_cycle.get(t, 0) + 1
+        assert max(per_cycle.values()) <= 2
+        assert len(per_cycle) >= 4  # issues spread over >= 4 cycles
+
+    def test_fma_limit_hook(self):
+        lib = default_library(fma_flavor="fcs", fma_limit=39)
+        assert lib.limit_for("fma-fcs") == 39
+        assert lib.limit_for("mul") is None
+
+    def test_resource_usage_report(self, lib):
+        g = parse_program(LISTING1)
+        s = list_schedule(g, lib)
+        usage = s.resource_usage()
+        assert usage["mul"] >= 1
+        assert "add" in usage
+
+
+class TestScheduleObject:
+    def test_length_of_empty(self):
+        from repro.hls import Schedule
+        assert Schedule().length == 0
+
+    def test_free_ops_have_zero_latency(self, lib):
+        g = CDFG()
+        a = g.add_input("a")
+        n = g.add_op(OpKind.NEG, a)
+        g.add_output(n, "y")
+        assert critical_path_length(g, lib) == 0

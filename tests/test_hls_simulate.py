@@ -1,0 +1,60 @@
+"""Tests for the CDFG simulator (repro.hls.simulate)."""
+
+import pytest
+
+from repro.fma import fcs_engine
+from repro.hls import CDFG, OpKind, parse_program, simulate
+
+
+class TestIeeeEvaluation:
+    def test_all_ieee_kinds(self):
+        g = parse_program("y = -a*b + (c - d)*2.0;")
+        out = simulate(g, dict(a=3.0, b=2.0, c=5.0, d=1.0))
+        assert out["y"] == -6.0 + 8.0
+
+    def test_const_nodes(self):
+        g = CDFG()
+        c = g.add_const(4.25)
+        g.add_output(c, "k")
+        assert simulate(g, {})["k"] == 4.25
+
+    def test_missing_input_raises(self):
+        g = parse_program("y = a + b;")
+        with pytest.raises(KeyError):
+            simulate(g, dict(a=1.0))
+
+    def test_multiple_outputs(self):
+        g = parse_program("p = a + b;\nq = a*b;\n",
+                          outputs=["p", "q"])
+        out = simulate(g, dict(a=2.0, b=3.0))
+        assert out == {"p": 5.0, "q": 6.0}
+
+
+class TestCarrySaveEvaluation:
+    def test_cs_nodes_require_engine(self):
+        g = CDFG()
+        a = g.add_input("a")
+        cs = g.add_op(OpKind.I2C, a)
+        back = g.add_op(OpKind.C2I, cs)
+        g.add_output(back, "y")
+        with pytest.raises(ValueError):
+            simulate(g, dict(a=1.0))
+        assert simulate(g, dict(a=1.5), engine=fcs_engine())["y"] == 1.5
+
+    def test_fma_with_negate_b(self):
+        g = CDFG()
+        a = g.add_input("a")
+        b = g.add_input("b")
+        c = g.add_input("c")
+        fma = g.add_op(OpKind.FMA, g.add_op(OpKind.I2C, a), b,
+                       g.add_op(OpKind.I2C, c), negate_b=True)
+        g.add_output(g.add_op(OpKind.C2I, fma), "y")
+        out = simulate(g, dict(a=10.0, b=2.0, c=3.0),
+                       engine=fcs_engine())
+        assert out["y"] == 10.0 - 2.0 * 3.0
+
+    def test_exact_binary64_inputs(self):
+        # the simulator lifts inputs through FPValue.from_float: exact
+        g = parse_program("y = a*a;")
+        x = 1.0 + 2.0 ** -30
+        assert simulate(g, dict(a=x))["y"] == x * x

@@ -1,0 +1,97 @@
+"""Tests for the component library (repro.hw.components)."""
+
+import pytest
+
+from repro.hw import VIRTEX5, VIRTEX6, dsp_tiles, karatsuba_dsps, \
+    lut_levels_for_mux, truncated_dsp_tiles
+from repro.hw.components import (make_adder, make_csa_level, make_csa_tree,
+                                 make_dsp_preadd, make_lza, make_mux,
+                                 make_rounder, make_shifter,
+                                 make_zero_detect)
+
+
+class TestDspPolicies:
+    def test_coregen_full_tiling_is_13(self):
+        # Table I: CoreGen double multiplier uses 13 DSP48E1
+        assert dsp_tiles(53, 53, VIRTEX6) == 13
+
+    def test_pcs_widened_multiplier_is_21(self):
+        # Table I: the 53x110 PCS multiplier uses 21 DSPs
+        assert dsp_tiles(110, 53, VIRTEX6) == 21
+
+    def test_flopoco_karatsuba_is_7(self):
+        # Table I: FloPoCo's FPPipeline uses 7 DSPs
+        assert karatsuba_dsps(53, VIRTEX6) == 7
+
+    def test_fcs_truncated_cs_multiplier_is_12(self):
+        # Table I: the FCS unit uses 12 DSPs
+        assert truncated_dsp_tiles(87, 53, VIRTEX6) == 12
+
+    def test_truncation_always_saves(self):
+        for wa in (53, 87, 110):
+            assert truncated_dsp_tiles(wa, 53, VIRTEX6) < \
+                dsp_tiles(wa, 53, VIRTEX6)
+
+    def test_wider_operand_needs_more_dsps(self):
+        assert dsp_tiles(110, 53, VIRTEX6) > dsp_tiles(87, 53, VIRTEX6) > \
+            dsp_tiles(53, 53, VIRTEX6)
+
+
+class TestMuxLevels:
+    @pytest.mark.parametrize("inputs,levels", [
+        (1, 0), (2, 1), (6, 1), (8, 1), (9, 2), (11, 2), (64, 2), (65, 3),
+    ])
+    def test_f7f8_mux_levels(self, inputs, levels):
+        assert lut_levels_for_mux(inputs) == levels
+
+
+class TestComponentFactories:
+    def test_adder_uses_calibrated_delay(self):
+        a = make_adder(11, VIRTEX6)
+        assert a.delay_ns == pytest.approx(VIRTEX6.adder_comb_ns(11))
+        assert a.luts == 11
+
+    def test_csa_level_is_one_lut_deep(self):
+        c = make_csa_level(385, VIRTEX6)
+        assert c.delay_ns == pytest.approx(VIRTEX6.lut_level_ns)
+        assert c.luts == 385
+
+    def test_csa_tree_area_counts_all_compressors(self):
+        t = make_csa_tree(8, 100, VIRTEX6)
+        assert t.luts == 6 * 100
+
+    def test_csa_tree_on_path_levels_cap(self):
+        capped = make_csa_tree(8, 100, VIRTEX6, on_path_levels=1)
+        full = make_csa_tree(8, 100, VIRTEX6)
+        assert capped.delay_ns < full.delay_ns
+        assert capped.luts == full.luts  # area unchanged
+
+    def test_wide_mux_pays_routing(self):
+        narrow = make_mux(6, 10, VIRTEX6)
+        wide = make_mux(6, 200, VIRTEX6)
+        assert wide.delay_ns > narrow.delay_ns
+
+    def test_variable_shifter_slower_than_block_mux(self):
+        # the core Sec. III-D argument: a full variable-distance shifter
+        # over the window is slower than the 6:1 block multiplexer
+        shifter = make_shifter(110, 275, VIRTEX6)
+        mux = make_mux(6, 110, VIRTEX6)
+        assert shifter.delay_ns > mux.delay_ns
+
+    def test_preadder_requires_recent_family(self):
+        make_dsp_preadd(VIRTEX6)  # fine
+        with pytest.raises(ValueError):
+            make_dsp_preadd(VIRTEX5)  # Sec. III-H: not on Virtex-5
+
+    def test_zero_detect_scales_with_blocks(self):
+        small = make_zero_detect(7, 55, VIRTEX6)
+        large = make_zero_detect(13, 55, VIRTEX6)
+        assert large.luts > small.luts
+
+    def test_lza_reg_bits_is_count_width(self):
+        lza = make_lza(161, VIRTEX6)
+        assert lza.reg_bits == 8  # ceil(log2(161))
+
+    def test_rounder_is_compound_select(self):
+        r = make_rounder(110, VIRTEX6)
+        assert r.delay_ns == pytest.approx(2 * VIRTEX6.lut_level_ns)

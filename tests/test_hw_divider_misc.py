@@ -1,0 +1,50 @@
+"""Coverage for the divider netlist and remaining hw corners."""
+
+import pytest
+
+from repro.hw import (VIRTEX5, VIRTEX6, VIRTEX7, design_by_name,
+                      divider_design, synthesize)
+
+
+class TestDivider:
+    def test_synthesizes_at_target(self):
+        r = synthesize(divider_design(VIRTEX6), VIRTEX6)
+        assert r.meets_target
+        assert r.cycles > 10          # deep SRT pipeline
+
+    def test_deeper_than_any_fma(self):
+        div = synthesize(divider_design(VIRTEX6), VIRTEX6)
+        for name in ("pcs-fma", "fcs-fma", "coregen-mul"):
+            assert div.cycles > synthesize(
+                design_by_name(name, VIRTEX6), VIRTEX6).cycles
+
+    def test_no_dsps(self):
+        # the SRT divider is pure fabric
+        assert divider_design(VIRTEX6).dsps == 0
+
+    def test_registered_in_factories(self):
+        d = design_by_name("divider", VIRTEX6)
+        assert d.name == "divider"
+
+
+class TestCrossDeviceShapes:
+    @pytest.mark.parametrize("device", [VIRTEX6, VIRTEX7],
+                             ids=["v6", "v7"])
+    def test_fcs_beats_pcs_latency_everywhere(self, device):
+        pcs = synthesize(design_by_name("pcs-fma", device), device)
+        fcs = synthesize(design_by_name("fcs-fma", device), device)
+        assert fcs.latency_ns < pcs.latency_ns
+
+    def test_newer_devices_are_faster(self):
+        lat = {}
+        for device in (VIRTEX5, VIRTEX6, VIRTEX7):
+            r = synthesize(design_by_name("pcs-fma", device), device)
+            lat[device.name] = r.latency_ns
+        assert lat["virtex7"] < lat["virtex6"] < lat["virtex5"]
+
+    def test_classic_fma_design_synthesizes(self):
+        r = synthesize(design_by_name("classic-fma", VIRTEX6), VIRTEX6)
+        # the variable-distance shifter + 161b adder make it deeper than
+        # the block-normalized CS units
+        fcs = synthesize(design_by_name("fcs-fma", VIRTEX6), VIRTEX6)
+        assert r.cycles > fcs.cycles

@@ -1,0 +1,105 @@
+"""Table II shape tests (repro.hw.energy)."""
+
+import random
+
+import pytest
+
+from repro.fma import (DiscreteMulAddEngine, FusedIeeeEngine, fcs_engine,
+                       pcs_engine)
+from repro.fp import BINARY64, double
+from repro.hw import (VIRTEX6, design_by_name, estimate_energy,
+                      glitch_factor, measure_toggle_activity, synthesize)
+
+PAPER_TABLE2 = {  # nJ per multiply-add
+    "coregen": 0.54,
+    "flopoco": 0.74,
+    "pcs-fma": 2.67,
+    "fcs-fma": 2.36,
+}
+
+
+def fig14_workload(seed=42, steps=40):
+    rng = random.Random(seed)
+    b1 = [double(rng.choice([-1, 1]) * rng.uniform(1, 32))
+          for _ in range(steps)]
+    b2 = [double(rng.choice([-1, 1]) * rng.uniform(1e-6, 1))
+          for _ in range(steps)]
+    x0 = [double(rng.uniform(-1, 1)) for _ in range(3)]
+    return b1, b2, x0, steps
+
+
+@pytest.fixture(scope="module")
+def energies():
+    b1, b2, x0, steps = fig14_workload()
+    engines = {
+        "coregen": DiscreteMulAddEngine(BINARY64),
+        "flopoco": FusedIeeeEngine(),
+        "pcs-fma": pcs_engine(),
+        "fcs-fma": fcs_engine(),
+    }
+    out = {}
+    for name, engine in engines.items():
+        act = measure_toggle_activity(engine, b1, b2, x0, steps)
+        design = design_by_name(name, VIRTEX6)
+        report = synthesize(design, VIRTEX6)
+        out[name] = estimate_energy(design, report, act, VIRTEX6)
+    return out
+
+
+class TestActivityMeasurement:
+    def test_data_rates_plausible(self, energies):
+        for er in energies.values():
+            assert 0.2 <= er.activity.data_rate <= 0.6
+
+    def test_carry_reduce_cleans_the_window(self, energies):
+        # PCS's Carry Reduce leaves a much quieter window fabric than the
+        # FCS unit's raw carry-save wires
+        assert energies["pcs-fma"].activity.window_rate < \
+            0.6 * energies["fcs-fma"].activity.window_rate
+
+
+class TestTable2Shape:
+    @pytest.mark.parametrize("name", list(PAPER_TABLE2))
+    def test_within_25_percent_of_paper(self, energies, name):
+        paper = PAPER_TABLE2[name]
+        assert abs(energies[name].total_nj - paper) / paper < 0.25
+
+    def test_cs_units_cost_4_to_5x(self, energies):
+        # Sec. IV-C: "a 4x to 5x increase in energy consumption"
+        base = energies["coregen"].total_nj
+        assert 3.5 <= energies["pcs-fma"].total_nj / base <= 5.5
+        assert 3.0 <= energies["fcs-fma"].total_nj / base <= 5.0
+
+    def test_fcs_cheaper_than_pcs(self, energies):
+        assert energies["fcs-fma"].total_nj < energies["pcs-fma"].total_nj
+
+    def test_baselines_cheaper_than_cs_units(self, energies):
+        top_base = max(energies["coregen"].total_nj,
+                       energies["flopoco"].total_nj)
+        assert top_base < energies["fcs-fma"].total_nj
+
+    def test_csa_trees_dominate(self, energies):
+        # "most of the energy was drawn in the large CSA trees"
+        er = energies["pcs-fma"]
+        assert er.logic_nj > er.dsp_nj + er.register_nj + er.clock_nj
+
+
+class TestGlitchClassification:
+    def test_csa_class(self):
+        assert glitch_factor("csatree8x164") > glitch_factor("mux6x110")
+        assert glitch_factor("pp-merge") == glitch_factor("window-3to2")
+
+    def test_default_class(self):
+        assert glitch_factor("exp-logic") == 1.0
+
+    def test_invalid_activity_rejected(self):
+        design = design_by_name("coregen", VIRTEX6)
+        report = synthesize(design, VIRTEX6)
+        with pytest.raises(ValueError):
+            estimate_energy(design, report, 1.5, VIRTEX6)
+
+    def test_scalar_activity_accepted(self):
+        design = design_by_name("coregen", VIRTEX6)
+        report = synthesize(design, VIRTEX6)
+        er = estimate_energy(design, report, 0.4, VIRTEX6)
+        assert er.total_nj > 0

@@ -1,0 +1,91 @@
+"""Tests for the pipeline cutter (repro.hw.pipeline)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw import VIRTEX6, cut_pipeline, cut_pipeline_fixed
+from repro.hw.components import Component
+
+
+def comp(d: float, name: str = "c") -> Component:
+    return Component(name, delay_ns=d, luts=10, reg_bits=8)
+
+
+class TestGreedyCut:
+    def test_single_small_component(self):
+        p = cut_pipeline([comp(1.0)], VIRTEX6, 200.0)
+        assert p.cycles == 1
+        assert p.fmax_mhz > 200
+
+    def test_oversized_component_gets_own_stage(self):
+        # the un-splittable 385b adder situation of Sec. III-D
+        big = comp(VIRTEX6.adder_comb_ns(385), "add385")
+        p = cut_pipeline([comp(1.0), big, comp(1.0)], VIRTEX6, 200.0)
+        assert any(len(s) == 1 and s[0].name == "add385" for s in p.stages)
+        assert p.fmax_mhz < 200  # cannot meet the target
+
+    def test_packing_respects_budget(self):
+        comps = [comp(1.5) for _ in range(9)]
+        p = cut_pipeline(comps, VIRTEX6, 200.0)
+        budget = 1000.0 / 200.0 - VIRTEX6.reg_overhead_ns
+        assert all(d <= budget + 1e-9 for d in p.stage_delays)
+
+    def test_empty_path(self):
+        p = cut_pipeline([], VIRTEX6, 200.0)
+        assert p.cycles == 0
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            cut_pipeline([comp(1.0)], VIRTEX6, 0.0)
+
+    @given(st.lists(st.floats(0.1, 6.0), min_size=1, max_size=25))
+    def test_all_components_preserved_in_order(self, delays):
+        comps = [comp(d, f"c{i}") for i, d in enumerate(delays)]
+        p = cut_pipeline(comps, VIRTEX6, 200.0)
+        flat = [c.name for s in p.stages for c in s]
+        assert flat == [c.name for c in comps]
+
+    @given(st.lists(st.floats(0.1, 4.0), min_size=1, max_size=20))
+    def test_balanced_never_worse_than_budget_when_feasible(self, delays):
+        comps = [comp(d) for d in delays]
+        p = cut_pipeline(comps, VIRTEX6, 200.0)
+        budget = 1000.0 / 200.0 - VIRTEX6.reg_overhead_ns
+        if max(delays) <= budget:
+            assert p.critical_stage_ns <= budget + 1e-9
+
+
+class TestFixedCut:
+    def test_exact_stage_count(self):
+        comps = [comp(1.0) for _ in range(10)]
+        p = cut_pipeline_fixed(comps, VIRTEX6, 4)
+        assert p.cycles == 4
+
+    def test_cycles_capped_at_component_count(self):
+        p = cut_pipeline_fixed([comp(1.0)] * 3, VIRTEX6, 10)
+        assert p.cycles == 3
+
+    def test_balancing_minimizes_max_stage(self):
+        comps = [comp(d) for d in (3.0, 1.0, 1.0, 1.0, 3.0)]
+        p = cut_pipeline_fixed(comps, VIRTEX6, 3)
+        # optimal 3-way split: [3.0][1,1,1][3.0] -> max 3.0
+        assert p.critical_stage_ns == pytest.approx(3.0)
+
+    @given(st.lists(st.floats(0.1, 5.0), min_size=2, max_size=15),
+           st.integers(1, 6))
+    def test_fixed_cut_value_preserved(self, delays, k):
+        comps = [comp(d) for d in delays]
+        p = cut_pipeline_fixed(comps, VIRTEX6, k)
+        assert sum(p.stage_delays) == pytest.approx(sum(delays))
+        assert p.cycles == min(k, len(delays))
+
+
+class TestPipelineProperties:
+    def test_register_bits_sums_stage_boundaries(self):
+        comps = [comp(1.0) for _ in range(4)]
+        p = cut_pipeline_fixed(comps, VIRTEX6, 2)
+        assert p.register_bits == 2 * 8
+
+    def test_meets(self):
+        p = cut_pipeline([comp(1.0)], VIRTEX6, 200.0)
+        assert p.meets(200.0)
+        assert not p.meets(2000.0)

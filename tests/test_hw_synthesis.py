@@ -1,0 +1,135 @@
+"""Table I / Fig. 13 shape tests (repro.hw.synthesis + netlist)."""
+
+import pytest
+
+from repro.hw import (VIRTEX5, VIRTEX6, design_by_name, synthesize,
+                      synthesize_by_name)
+
+PAPER_TABLE1 = {
+    # architecture: (fmax MHz, cycles, LUTs, DSPs)
+    "coregen": (244, 9, 1253, 13),
+    "flopoco": (190, 11, 1508, 7),
+    "pcs-fma": (231, 5, 5832, 21),
+    "fcs-fma": (211, 3, 4685, 12),
+}
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {name: synthesize_by_name(name, VIRTEX6)
+            for name in PAPER_TABLE1}
+
+
+class TestTable1CycleCounts:
+    """Latency in cycles must match Table I exactly."""
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE1))
+    def test_cycles_exact(self, reports, name):
+        assert reports[name].cycles == PAPER_TABLE1[name][1]
+
+    def test_coregen_is_five_plus_four(self):
+        assert synthesize_by_name("coregen-mul", VIRTEX6).cycles == 5
+        assert synthesize_by_name("coregen-add", VIRTEX6).cycles == 4
+
+
+class TestTable1DspCounts:
+    @pytest.mark.parametrize("name", list(PAPER_TABLE1))
+    def test_dsps_exact(self, reports, name):
+        assert reports[name].dsps == PAPER_TABLE1[name][3]
+
+
+class TestTable1Fmax:
+    @pytest.mark.parametrize("name", list(PAPER_TABLE1))
+    def test_fmax_within_5_percent(self, reports, name):
+        paper = PAPER_TABLE1[name][0]
+        assert abs(reports[name].fmax_mhz - paper) / paper < 0.05
+
+    def test_only_flopoco_misses_200mhz(self, reports):
+        # Sec. IV: "all were constrained to achieve a minimum clock
+        # frequency of 200 MHz"; Table I shows FloPoCo at 190.
+        assert not reports["flopoco"].meets_target
+        for name in ("coregen", "pcs-fma", "fcs-fma"):
+            assert reports[name].meets_target
+
+    def test_fmax_ordering(self, reports):
+        r = reports
+        assert r["coregen"].fmax_mhz > r["pcs-fma"].fmax_mhz > \
+            r["fcs-fma"].fmax_mhz > r["flopoco"].fmax_mhz
+
+
+class TestTable1Area:
+    @pytest.mark.parametrize("name", list(PAPER_TABLE1))
+    def test_luts_within_25_percent(self, reports, name):
+        paper = PAPER_TABLE1[name][2]
+        assert abs(reports[name].luts - paper) / paper < 0.25
+
+    def test_lut_ordering(self, reports):
+        # CoreGen < FloPoCo << FCS < PCS (Table I)
+        r = reports
+        assert r["coregen"].luts < r["flopoco"].luts
+        assert r["flopoco"].luts < r["fcs-fma"].luts
+        assert r["fcs-fma"].luts < r["pcs-fma"].luts
+
+    def test_fcs_more_area_efficient_than_pcs(self, reports):
+        # Sec. IV-A: "the FCS-FMA unit achieves better area efficiency
+        # than the PCS variant due to its exploitation of the DSP48E1
+        # pre-adder blocks"
+        assert reports["fcs-fma"].luts < reports["pcs-fma"].luts
+        assert reports["fcs-fma"].dsps < reports["pcs-fma"].dsps
+
+    def test_cs_units_cost_more_luts_than_baselines(self, reports):
+        # "both of our units require more area (LUTs) than their
+        # competitors"
+        base = max(reports["coregen"].luts, reports["flopoco"].luts)
+        assert reports["pcs-fma"].luts > 2 * base
+        assert reports["fcs-fma"].luts > 2 * base
+
+
+class TestFig13Latency:
+    def test_latency_values(self, reports):
+        # Fig. 13: minimum period x pipeline length
+        for name, r in reports.items():
+            assert r.latency_ns == pytest.approx(
+                1000.0 / r.fmax_mhz * r.cycles)
+
+    def test_pcs_speedup_about_1_7x(self, reports):
+        best_base = min(reports["coregen"].latency_ns,
+                        reports["flopoco"].latency_ns)
+        speedup = best_base / reports["pcs-fma"].latency_ns
+        assert 1.5 <= speedup <= 1.9
+
+    def test_fcs_speedup_about_2_5x(self, reports):
+        best_base = min(reports["coregen"].latency_ns,
+                        reports["flopoco"].latency_ns)
+        speedup = best_base / reports["fcs-fma"].latency_ns
+        assert 2.3 <= speedup <= 2.8
+
+    def test_latency_ordering(self, reports):
+        r = reports
+        assert r["fcs-fma"].latency_ns < r["pcs-fma"].latency_ns < \
+            r["coregen"].latency_ns < r["flopoco"].latency_ns
+
+
+class TestDeviceConstraints:
+    def test_fcs_unavailable_on_virtex5(self):
+        # Sec. III-H: the FCS-FMA needs the DSP48E1 pre-adder
+        with pytest.raises(ValueError):
+            design_by_name("fcs-fma", VIRTEX5)
+
+    def test_pcs_portable_to_virtex5(self):
+        # Sec. III: PCS is "portable to older FPGAs (e.g. Virtex-5)"
+        r = synthesize(design_by_name("pcs-fma", VIRTEX5), VIRTEX5)
+        assert r.cycles >= 5  # slower fabric may need more stages
+
+    def test_unknown_design(self):
+        with pytest.raises(KeyError):
+            design_by_name("mystery", VIRTEX6)
+
+
+class TestConverters:
+    def test_cs_to_ieee_is_the_expensive_direction(self):
+        from repro.hw import cs_to_ieee_converter, ieee_to_cs_converter
+        to_cs = synthesize(ieee_to_cs_converter(VIRTEX6), VIRTEX6)
+        from_cs = synthesize(cs_to_ieee_converter(VIRTEX6), VIRTEX6)
+        assert from_cs.cycles >= to_cs.cycles
+        assert from_cs.luts > to_cs.luts

@@ -1,0 +1,65 @@
+"""Tests for the FPGA device model (repro.hw.technology)."""
+
+import pytest
+
+from repro.hw import VIRTEX5, VIRTEX6, VIRTEX7, device_by_name
+
+
+class TestCalibration:
+    """The Virtex-6 carry-chain model must hit the paper's own numbers."""
+
+    def test_11bit_adder_matches_paper(self):
+        # Sec. III-E: 1.742 ns
+        assert abs(VIRTEX6.adder_regreg_ns(11) - 1.742) < 0.005
+
+    def test_385bit_adder_matches_paper(self):
+        # Sec. III-D: "about 8.95ns ... far too slow"
+        assert abs(VIRTEX6.adder_regreg_ns(385) - 8.95) < 0.03
+
+    def test_5bit_adder_close_to_paper(self):
+        # Sec. III-E: 1.650 ns; the linear model lands within 2 %
+        assert abs(VIRTEX6.adder_regreg_ns(5) - 1.650) / 1.650 < 0.02
+
+    def test_385b_adder_misses_200mhz(self):
+        # the motivation for carry save: one 385b adder cannot clock at
+        # 200 MHz (5 ns period)
+        assert VIRTEX6.adder_regreg_ns(385) > 5.0
+
+    def test_11b_and_5b_adders_nearly_equal(self):
+        # Sec. III-E: "the delay difference between a 5b and an 11b adder
+        # is so small that we can choose the more area efficient 11b
+        # distribution"
+        d5 = VIRTEX6.adder_regreg_ns(5)
+        d11 = VIRTEX6.adder_regreg_ns(11)
+        assert (d11 - d5) / d5 < 0.08
+
+
+class TestDeviceFeatures:
+    def test_preadder_availability(self):
+        # Sec. III-H: Virtex-6/-7 DSP48E1 have the pre-adder, Virtex-5
+        # DSP48E does not
+        assert not VIRTEX5.has_dsp_preadder
+        assert VIRTEX6.has_dsp_preadder
+        assert VIRTEX7.has_dsp_preadder
+
+    def test_generation_speed_ordering(self):
+        assert VIRTEX7.lut_level_ns < VIRTEX6.lut_level_ns < \
+            VIRTEX5.lut_level_ns
+        assert VIRTEX7.carry_per_bit_ns < VIRTEX6.carry_per_bit_ns
+
+    def test_adder_comb_excludes_register_overhead(self):
+        assert VIRTEX6.adder_comb_ns(11) == pytest.approx(
+            VIRTEX6.adder_regreg_ns(11) - VIRTEX6.reg_overhead_ns)
+
+    def test_max_frequency(self):
+        # a 4.5 ns stage on Virtex-6 clocks at 200 MHz
+        assert VIRTEX6.max_frequency_mhz(4.5) == pytest.approx(200.0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert device_by_name("virtex6") is VIRTEX6
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            device_by_name("spartan3")

@@ -1,0 +1,116 @@
+"""Tests for the ldlsolve code generator and the interior-point solver."""
+
+import numpy as np
+import pytest
+
+from repro.hls import parse_program, simulate
+from repro.solvers import (InteriorPointSolver, assemble_kkt,
+                           generate_kernel, ldl_solve, numeric_ldl,
+                           trajectory_problem)
+
+
+@pytest.fixture(scope="module")
+def small_problem():
+    return trajectory_problem(4, 1)
+
+
+@pytest.fixture(scope="module")
+def small_kernel(small_problem):
+    return generate_kernel(small_problem)
+
+
+class TestCodegen:
+    def test_kernel_parses(self, small_kernel):
+        g = parse_program(small_kernel.source,
+                          outputs=small_kernel.output_names)
+        assert len(g.outputs()) == small_kernel.symbolic.n
+
+    def test_statement_count(self, small_kernel):
+        # forward (n) + backward (n) statements
+        assert small_kernel.statement_count == 2 * small_kernel.symbolic.n
+
+    def test_kernel_matches_numeric_solve(self, small_problem,
+                                          small_kernel):
+        p = small_problem
+        sym = small_kernel.symbolic
+        K = assemble_kkt(p, 0.3 + np.arange(p.n_ineq) * 0.02)
+        L, D = numeric_ldl(K, sym)
+        rng = np.random.default_rng(0)
+        rhs = rng.standard_normal(sym.n)
+        want = ldl_solve(L, D, sym, rhs)
+
+        g = parse_program(small_kernel.source,
+                          outputs=small_kernel.output_names)
+        outs = simulate(g, small_kernel.input_bindings(L, D, rhs))
+        got = small_kernel.unpermute(outs)
+        assert np.allclose(got, want, rtol=1e-10, atol=1e-12)
+
+    def test_kernel_solves_the_kkt_system(self, small_problem,
+                                          small_kernel):
+        p = small_problem
+        sym = small_kernel.symbolic
+        K = assemble_kkt(p, np.ones(p.n_ineq))
+        L, D = numeric_ldl(K, sym)
+        rhs = np.random.default_rng(1).standard_normal(sym.n)
+        g = parse_program(small_kernel.source,
+                          outputs=small_kernel.output_names)
+        x = small_kernel.unpermute(
+            simulate(g, small_kernel.input_bindings(L, D, rhs)))
+        assert np.allclose(K @ x, rhs, atol=1e-6)
+
+    def test_source_is_pure_multiply_add(self, small_kernel):
+        from repro.hls import OpKind
+        g = parse_program(small_kernel.source,
+                          outputs=small_kernel.output_names)
+        kinds = {n.kind for n in g.nodes.values()}
+        assert kinds <= {OpKind.INPUT, OpKind.OUTPUT, OpKind.MUL,
+                         OpKind.SUB, OpKind.ADD}
+
+
+class TestInteriorPoint:
+    def test_converges_on_all_benchmarks(self):
+        from repro.solvers import BENCHMARK_SIZES
+        for _name, T, obs in BENCHMARK_SIZES:
+            p = trajectory_problem(T, obs)
+            res = InteriorPointSolver(p).solve()
+            assert res.converged, f"T={T} failed"
+            assert p.max_violation(res.z) < 1e-6
+
+    def test_solution_is_optimal_vs_scipy(self, small_problem):
+        pytest.importorskip("scipy")
+        from scipy.optimize import minimize
+        p = small_problem
+        res = InteriorPointSolver(p).solve()
+        # scipy SLSQP from the IPM solution cannot materially improve it
+        r = minimize(
+            p.objective, res.z, jac=lambda z: p.P @ z + p.q,
+            constraints=[
+                {"type": "eq", "fun": lambda z: p.A @ z - p.b},
+                {"type": "ineq", "fun": lambda z: p.h - p.G @ z},
+            ], method="SLSQP",
+            options={"maxiter": 200, "ftol": 1e-10})
+        assert p.objective(res.z) <= p.objective(r.x) + 1e-4
+
+    def test_duality_gap_closes(self, small_problem):
+        res = InteriorPointSolver(small_problem).solve()
+        assert res.duality_gap < 1e-6
+
+    def test_iteration_budget_respected(self, small_problem):
+        res = InteriorPointSolver(small_problem, max_iterations=2).solve()
+        assert res.iterations <= 2
+
+    def test_kernel_backend_matches_numeric(self, small_problem):
+        plain = InteriorPointSolver(small_problem).solve()
+        kern = InteriorPointSolver.with_kernel_backend(
+            small_problem).solve()
+        assert kern.converged
+        assert np.allclose(plain.z, kern.z, atol=1e-9)
+
+    def test_removing_obstacles_never_hurts(self, small_problem):
+        # relaxing constraints can only improve the optimum (up to
+        # solver tolerance)
+        p = small_problem
+        free = trajectory_problem(4, 0)
+        res = InteriorPointSolver(p).solve()
+        res_free = InteriorPointSolver(free).solve()
+        assert res_free.objective <= res.objective + 1e-6

@@ -1,0 +1,112 @@
+"""Tests for the ldlfactor() code generator and division support."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from conftest import normal_doubles
+from repro.fp import FPValue, double, fp_div
+from repro.hls import OpKind, default_library, parse_program, simulate
+from repro.solvers import (assemble_kkt, generate_factor_kernel,
+                           generate_kernel, ldl_solve, numeric_ldl,
+                           trajectory_problem)
+
+
+class TestFpDiv:
+    @given(normal_doubles(-300, 300), normal_doubles(-300, 300))
+    def test_matches_native_ieee(self, x, y):
+        assert fp_div(double(x), double(y)).to_float() == x / y
+
+    def test_specials(self):
+        from repro.fp import BINARY64
+        inf = FPValue.inf(BINARY64)
+        zero = FPValue.zero(BINARY64)
+        one = double(1.0)
+        assert fp_div(inf, inf).is_nan
+        assert fp_div(zero, zero).is_nan
+        assert fp_div(one, zero).is_inf
+        assert fp_div(one, inf).is_zero
+        r = fp_div(double(-1.0), zero)
+        assert r.is_inf and r.sign == 1
+
+    def test_sign_of_zero_quotient(self):
+        from repro.fp import BINARY64
+        r = fp_div(FPValue.zero(BINARY64), double(-2.0))
+        assert r.is_zero and r.sign == 1
+
+
+class TestDivInHls:
+    def test_parse_and_simulate(self):
+        g = parse_program("y = a/b;")
+        assert g.op_count(OpKind.DIV) == 1
+        assert simulate(g, dict(a=7.0, b=2.0))["y"] == 3.5
+
+    def test_divider_latency_deeper_than_multiplier(self):
+        lib = default_library()
+        assert lib.specs["div"].latency > lib.specs["mul"].latency
+
+    def test_div_not_fused_by_pass(self):
+        from repro.hls import run_fma_insertion
+        g = parse_program("y = a/b + c*d;")
+        run_fma_insertion(g, default_library(fma_flavor="fcs"))
+        assert g.op_count(OpKind.DIV) == 1
+
+    def test_comment_with_slash_still_parses(self):
+        g = parse_program("y = a + b; // note: a/b unrelated\n")
+        assert simulate(g, dict(a=1.0, b=2.0))["y"] == 3.0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    p = trajectory_problem(4, 1)
+    fk = generate_factor_kernel(p)
+    K = assemble_kkt(p, 0.5 + np.arange(p.n_ineq) * 0.01)
+    return p, fk, K
+
+
+class TestFactorKernel:
+    def test_statement_structure(self, setup):
+        _p, fk, _K = setup
+        # n d-statements + n divisions + nnz L-statements
+        assert fk.statement_count == 2 * fk.symbolic.n + fk.symbolic.nnz
+        assert fk.division_count == fk.symbolic.n
+
+    def test_kernel_matches_numeric_factorization(self, setup):
+        _p, fk, K = setup
+        g = parse_program(fk.source, outputs=fk.output_names)
+        outs = simulate(g, fk.input_bindings(K))
+        L, D = fk.extract(outs)
+        Lref, Dref = numeric_ldl(K, fk.symbolic)
+        assert np.allclose(D, Dref, rtol=1e-9)
+        for key, v in Lref.items():
+            assert L[key] == pytest.approx(v, rel=1e-8, abs=1e-10)
+
+    def test_factor_then_solve_pipeline(self, setup):
+        # full generated pipeline: ldlfactor() output feeds ldlsolve()
+        p, fk, K = setup
+        sk = generate_kernel(p)
+        gf = parse_program(fk.source, outputs=fk.output_names)
+        L, D = fk.extract(simulate(gf, fk.input_bindings(K)))
+        rhs = np.random.default_rng(1).standard_normal(sk.symbolic.n)
+        gs = parse_program(sk.source, outputs=sk.output_names)
+        x = sk.unpermute(simulate(gs, sk.input_bindings(L, D, rhs)))
+        assert np.allclose(K @ x, rhs, atol=1e-6)
+
+    def test_contains_divisions(self, setup):
+        _p, fk, _K = setup
+        g = parse_program(fk.source, outputs=fk.output_names)
+        assert g.op_count(OpKind.DIV) == fk.symbolic.n
+
+    def test_solve_kernel_is_division_free(self, setup):
+        p, _fk, _K = setup
+        sk = generate_kernel(p)
+        g = parse_program(sk.source, outputs=sk.output_names)
+        assert g.op_count(OpKind.DIV) == 0
+
+    def test_numeric_roundtrip_via_ldl_solve(self, setup):
+        p, fk, K = setup
+        g = parse_program(fk.source, outputs=fk.output_names)
+        L, D = fk.extract(simulate(g, fk.input_bindings(K)))
+        rhs = np.random.default_rng(2).standard_normal(fk.symbolic.n)
+        x = ldl_solve(L, D, fk.symbolic, rhs)
+        assert np.allclose(K @ x, rhs, atol=1e-6)

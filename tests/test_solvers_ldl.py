@@ -1,0 +1,130 @@
+"""Tests for KKT assembly and the sparse LDL^T machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.solvers import (assemble_kkt, kkt_dimension, kkt_sparsity,
+                           ldl_solve, ldl_solve_dense, min_degree_order,
+                           numeric_ldl, symbolic_ldl, trajectory_problem)
+
+
+@st.composite
+def random_spd_quasidefinite(draw):
+    """Random sparse symmetric quasidefinite matrices (KKT-like)."""
+    n = draw(st.integers(3, 14))
+    rng = np.random.default_rng(draw(st.integers(0, 10**6)))
+    density = draw(st.floats(0.1, 0.5))
+    M = rng.standard_normal((n, n)) * (rng.random((n, n)) < density)
+    K = M + M.T + np.diag(np.sign(rng.standard_normal(n) + 0.1) *
+                          (n + rng.random(n) * n))
+    return K
+
+
+class TestKktAssembly:
+    def test_dimensions(self):
+        p = trajectory_problem(4, 1)
+        K = assemble_kkt(p, np.ones(p.n_ineq))
+        N = kkt_dimension(p)
+        assert K.shape == (N, N)
+        assert np.allclose(K, K.T)
+
+    def test_quasidefinite_blocks(self):
+        p = trajectory_problem(4, 1)
+        K = assemble_kkt(p, 2.0 * np.ones(p.n_ineq), eps=1e-6)
+        n, m = p.n, p.n_eq
+        assert np.all(np.diag(K)[:n] > 0)          # P + eps I
+        assert np.all(np.diag(K)[n + m:] < 0)      # -W
+
+    def test_w_validation(self):
+        p = trajectory_problem(4, 1)
+        with pytest.raises(ValueError):
+            assemble_kkt(p, np.zeros(p.n_ineq))
+        with pytest.raises(ValueError):
+            assemble_kkt(p, np.ones(3))
+
+    def test_sparsity_is_structural(self):
+        p = trajectory_problem(4, 1)
+        pat = kkt_sparsity(p)
+        K = assemble_kkt(p, np.ones(p.n_ineq), eps=1e-7)
+        assert np.all(pat[np.abs(K) > 0])
+        assert np.array_equal(pat, pat.T)
+
+
+class TestOrdering:
+    def test_permutation_validity(self):
+        p = trajectory_problem(4, 1)
+        order = min_degree_order(kkt_sparsity(p))
+        assert sorted(order.tolist()) == list(range(len(order)))
+
+    def test_min_degree_reduces_fill(self):
+        p = trajectory_problem(6, 2)
+        pat = kkt_sparsity(p)
+        natural = symbolic_ldl(pat, order=np.arange(pat.shape[0]))
+        amd = symbolic_ldl(pat)
+        assert amd.nnz <= natural.nnz
+
+
+class TestSymbolic:
+    def test_pattern_covers_factor(self):
+        p = trajectory_problem(4, 1)
+        pat = kkt_sparsity(p)
+        sym = symbolic_ldl(pat)
+        K = assemble_kkt(p, np.ones(p.n_ineq))
+        L, D = numeric_ldl(K, sym)  # would KeyError on missing pattern
+        assert len(L) == sym.nnz
+
+    def test_requires_symmetry(self):
+        pat = np.array([[True, True], [False, True]])
+        with pytest.raises(ValueError):
+            symbolic_ldl(pat)
+
+    def test_rows_cols_consistency(self):
+        p = trajectory_problem(4, 1)
+        sym = symbolic_ldl(kkt_sparsity(p))
+        n_from_rows = sum(len(r) for r in sym.rows())
+        n_from_cols = sum(len(c) for c in sym.cols())
+        assert n_from_rows == n_from_cols == sym.nnz
+
+
+class TestNumeric:
+    @given(random_spd_quasidefinite())
+    @settings(max_examples=30)
+    def test_factorization_reconstructs(self, K):
+        n = K.shape[0]
+        sym = symbolic_ldl(np.abs(K) > 0)
+        L, D = numeric_ldl(K, sym)
+        Lm = np.eye(n)
+        for (i, j), v in L.items():
+            Lm[i, j] = v
+        Kp = K[np.ix_(sym.order, sym.order)]
+        assert np.allclose(Lm @ np.diag(D) @ Lm.T, Kp, atol=1e-8 *
+                           max(1.0, np.max(np.abs(K))))
+
+    @given(random_spd_quasidefinite())
+    @settings(max_examples=30)
+    def test_solve_matches_numpy(self, K):
+        n = K.shape[0]
+        rng = np.random.default_rng(1)
+        rhs = rng.standard_normal(n)
+        x = ldl_solve_dense(K, rhs)
+        want = np.linalg.solve(K, rhs)
+        assert np.allclose(x, want, atol=1e-6 * max(1.0,
+                                                    np.max(np.abs(want))))
+
+    def test_kkt_solve(self):
+        p = trajectory_problem(6, 2)
+        K = assemble_kkt(p, 0.5 + np.arange(p.n_ineq) * 0.01)
+        sym = symbolic_ldl(kkt_sparsity(p))
+        L, D = numeric_ldl(K, sym)
+        rhs = np.random.default_rng(2).standard_normal(K.shape[0])
+        x = ldl_solve(L, D, sym, rhs)
+        assert np.allclose(K @ x, rhs, atol=1e-7)
+
+    def test_zero_pivot_detected(self):
+        K = np.zeros((2, 2))
+        K[0, 1] = K[1, 0] = 1.0
+        sym = symbolic_ldl(np.ones((2, 2), dtype=bool),
+                           order=np.arange(2))
+        with pytest.raises(ZeroDivisionError):
+            numeric_ldl(K, sym)

@@ -1,0 +1,73 @@
+"""Tests for the MPC controller (repro.solvers.mpc)."""
+
+import numpy as np
+import pytest
+
+from repro.fma import fcs_engine
+from repro.solvers import MPCController, simulate_closed_loop
+
+X0 = np.array([0.0, 0.0, 1.0, 0.0])
+
+
+class TestController:
+    def test_plan_returns_control(self):
+        ctl = MPCController(horizon=4)
+        step = ctl.plan(X0)
+        assert step.converged
+        assert step.control.shape == (2,)
+        assert np.all(np.abs(step.control) <= 3.0 + 1e-9)
+
+    def test_state_shape_validated(self):
+        with pytest.raises(ValueError):
+            MPCController().plan(np.zeros(3))
+
+    def test_replanning_from_new_state_changes_control(self):
+        ctl = MPCController(horizon=4)
+        u1 = ctl.plan(X0).control
+        u2 = ctl.plan(np.array([0.5, 0.5, 0.5, 0.5])).control
+        assert not np.allclose(u1, u2)
+
+    def test_dynamics_step(self):
+        ctl = MPCController()
+        x1 = ctl.step_dynamics(X0, np.array([0.0, 0.0]))
+        # drift only: position advances by v*dt
+        assert x1[0] == pytest.approx(X0[0] + 0.25 * X0[2])
+        assert x1[2] == X0[2]
+
+    def test_problem_structure_is_fixed(self):
+        # re-planning only rewrites the first dynamics RHS block
+        ctl = MPCController(horizon=4)
+        G_before = ctl.problem.G.copy()
+        ctl.plan(X0)
+        ctl.plan(np.array([1.0, -0.5, 0.2, 0.1]))
+        assert np.array_equal(ctl.problem.G, G_before)
+
+
+class TestClosedLoop:
+    def test_vehicle_progresses_toward_goal(self):
+        ctl = MPCController(horizon=4)
+        steps = simulate_closed_loop(ctl, X0, 6)
+        assert all(s.converged for s in steps)
+        xs = [s.state[0] for s in steps]
+        assert xs == sorted(xs)       # monotone forward progress
+        assert steps[-1].state[0] > X0[0]
+
+    def test_telemetry_populated(self):
+        steps = simulate_closed_loop(MPCController(horizon=4), X0, 2)
+        for s in steps:
+            assert s.iterations > 0
+            assert np.isfinite(s.objective)
+
+
+class TestHardwareBackend:
+    def test_carry_save_controller_matches_software(self):
+        sw = MPCController(horizon=4)
+        hw = MPCController(horizon=4, engine=fcs_engine())
+        assert hw.pass_report is not None
+        assert hw.pass_report.fma_inserted > 0
+        u_sw = sw.plan(X0).control
+        u_hw = hw.plan(X0).control
+        assert np.allclose(u_sw, u_hw, atol=1e-9)
+
+    def test_software_controller_has_no_pass_report(self):
+        assert MPCController(horizon=4).pass_report is None

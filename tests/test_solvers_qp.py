@@ -1,0 +1,91 @@
+"""Tests for the QP container and trajectory problems."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import BENCHMARK_SIZES, QPProblem, trajectory_problem
+
+
+class TestQPValidation:
+    def test_dimension_checks(self):
+        P = np.eye(2)
+        with pytest.raises(ValueError):
+            QPProblem(P, np.zeros(3), np.zeros((0, 2)), np.zeros(0),
+                      np.zeros((0, 2)), np.zeros(0))
+
+    def test_symmetry_check(self):
+        P = np.array([[1.0, 2.0], [0.0, 1.0]])
+        with pytest.raises(ValueError):
+            QPProblem(P, np.zeros(2), np.zeros((0, 2)), np.zeros(0),
+                      np.zeros((0, 2)), np.zeros(0))
+
+    def test_objective_and_violation(self):
+        P = 2 * np.eye(2)
+        q = np.array([-2.0, 0.0])
+        G = np.array([[1.0, 0.0]])
+        h = np.array([0.5])
+        p = QPProblem(P, q, np.zeros((0, 2)), np.zeros(0), G, h)
+        z = np.array([1.0, 0.0])
+        assert p.objective(z) == pytest.approx(1.0 - 2.0)
+        assert p.max_violation(z) == pytest.approx(0.5)
+
+
+class TestTrajectoryProblems:
+    @pytest.mark.parametrize("name,T,obs", BENCHMARK_SIZES)
+    def test_benchmark_sizes_build(self, name, T, obs):
+        p = trajectory_problem(T, obs)
+        assert p.n == T * 6
+        assert p.n_eq == T * 4           # dynamics
+        assert p.n_ineq >= 4 * T         # control bounds at least
+
+    def test_increasing_complexity(self):
+        dims = [trajectory_problem(T, o).n + trajectory_problem(T, o).n_eq
+                + trajectory_problem(T, o).n_ineq
+                for _, T, o in BENCHMARK_SIZES]
+        assert dims == sorted(dims)
+        assert dims[0] < dims[-1]
+
+    def test_dynamics_rows_consistent(self):
+        # a trajectory satisfying the dynamics must satisfy A z = b
+        T = 4
+        p = trajectory_problem(T, 0)
+        dt = 0.25
+        Ad = np.eye(4)
+        Ad[0, 2] = Ad[1, 3] = dt
+        Bd = np.zeros((4, 2))
+        Bd[0, 0] = Bd[1, 1] = 0.5 * dt * dt
+        Bd[2, 0] = Bd[3, 1] = dt
+        x = np.array([0.0, 0.0, 1.0, 0.0])
+        rng = np.random.default_rng(3)
+        xs, us = [], []
+        for _ in range(T):
+            u = rng.standard_normal(2)
+            x = Ad @ x + Bd @ u
+            xs.append(x.copy())
+            us.append(u)
+        z = np.concatenate(xs + us)
+        assert p.max_violation_eq(z) < 1e-12 if hasattr(
+            p, "max_violation_eq") else np.max(
+                np.abs(p.A @ z - p.b)) < 1e-12
+
+    def test_zero_obstacles(self):
+        p = trajectory_problem(4, 0)
+        assert p.n_ineq == 4 * 4  # only the control bounds
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            trajectory_problem(0)
+
+    def test_deterministic_given_seed(self):
+        a = trajectory_problem(6, 2, seed=5)
+        b = trajectory_problem(6, 2, seed=5)
+        assert np.array_equal(a.G, b.G) and np.array_equal(a.h, b.h)
+
+    def test_problem_is_feasible(self):
+        # the nominal corridor construction guarantees feasibility
+        from repro.solvers import InteriorPointSolver
+        for _, T, obs in BENCHMARK_SIZES:
+            p = trajectory_problem(T, obs)
+            res = InteriorPointSolver(p).solve()
+            assert res.converged
+            assert p.max_violation(res.z) < 1e-6
