@@ -1,0 +1,148 @@
+"""Public batched entry points: ``fma_batch``, ``dot_batch``,
+``accumulate_batch``.
+
+Each function evaluates many operations through the fast kernels of
+:mod:`repro.batch` while remaining bit-identical to the corresponding
+scalar loop over the faithful models (``use_batch=False`` literally runs
+that loop, which is what the differential tests compare against).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..fma.accumulator import AccumulatorOverflow, PcsAccumulator
+from ..fma.convert import cs_to_ieee, ieee_to_cs
+from ..fma.csfma import CSFmaUnit, FcsFmaUnit
+from ..fma.formats import CSFloat
+from ..fp.formats import BINARY64
+from ..fp.value import FpClass, FPValue
+from .cskernel import bit_positions, kernel_for
+from .ieee_fast import fp_mul_fast
+
+__all__ = ["fma_batch", "dot_batch", "accumulate_batch"]
+
+
+def _as_cs(x: "CSFloat | FPValue", unit: CSFmaUnit) -> CSFloat:
+    if isinstance(x, FPValue):
+        return ieee_to_cs(x, unit.params)
+    return x
+
+
+def fma_batch(a: Sequence["CSFloat | FPValue"], b: Sequence[FPValue],
+              c: Sequence["CSFloat | FPValue"],
+              unit: CSFmaUnit | None = None, *,
+              use_batch: bool = True) -> list[CSFloat]:
+    """Evaluate independent ``a[i] + b[i] * c[i]`` through one CS unit.
+
+    ``a``/``c`` accept CS operands or IEEE values (lifted exactly);
+    ``b`` stays IEEE as in the hardware.  Bit-identical to calling
+    ``unit.fma`` element by element.
+    """
+    if not (len(a) == len(b) == len(c)):
+        raise ValueError("operand vector length mismatch")
+    unit = unit if unit is not None else FcsFmaUnit()
+    kernel = kernel_for(unit) if use_batch else None
+    if kernel is None:
+        return [unit.fma(_as_cs(ai, unit), bi, _as_cs(ci, unit))
+                for ai, bi, ci in zip(a, b, c)]
+    lift = kernel.lift_cs
+    lift_ieee = kernel.lift_ieee
+    out = []
+    for ai, bi, ci in zip(a, b, c):
+        at = lift_ieee(ai) if isinstance(ai, FPValue) else lift(ai)
+        ct = lift_ieee(ci) if isinstance(ci, FPValue) else lift(ci)
+        bt = kernel.lift_b(bi)
+        pos = bit_positions(bt[3]) if bt[0] == 1 else None
+        out.append(kernel.lower(kernel.fma(at, bt, ct, pos)))
+    return out
+
+
+def dot_batch(a: Sequence[FPValue], b: Sequence[FPValue],
+              unit: CSFmaUnit | None = None, *,
+              use_batch: bool = True) -> FPValue:
+    """Fused inner product ``sum_i a[i] * b[i]``.
+
+    Bit-identical to
+    :meth:`repro.fma.dotprod.FusedDotProductUnit.dot` on the same unit:
+    the accumulator stays in the unit's carry-save operand format and is
+    normalized back to IEEE once at the end.
+    """
+    if len(a) != len(b):
+        raise ValueError("vector length mismatch")
+    unit = unit if unit is not None else FcsFmaUnit()
+    kernel = kernel_for(unit) if use_batch else None
+    if kernel is None:
+        acc = ieee_to_cs(FPValue.zero(BINARY64), unit.params)
+        for ai, bi in zip(a, b):
+            acc = unit.fma(acc, ai, ieee_to_cs(bi, unit.params))
+        return cs_to_ieee(acc)
+    return cs_to_ieee(kernel.lower(kernel.dot_tuple(a, b)))
+
+
+def accumulate_batch(a: Sequence[FPValue], b: Sequence[FPValue],
+                     acc: PcsAccumulator | None = None, *,
+                     use_batch: bool = True) -> PcsAccumulator:
+    """Accumulate all products ``a[i] * b[i]`` into a [12]-style MAC.
+
+    Bit-identical to calling :meth:`PcsAccumulator.accumulate` per pair
+    (one singly-rounded binary64 multiply feeding the carry-free window
+    add); returns the accumulator for chaining.
+    """
+    if len(a) != len(b):
+        raise ValueError("vector length mismatch")
+    if acc is None:
+        acc = PcsAccumulator()
+    if not use_batch:
+        for ai, bi in zip(a, b):
+            acc.accumulate(ai, bi)
+        return acc
+
+    from ..cs.csnumber import CSNumber
+
+    width = acc.width
+    mask = (1 << width) - 1
+    sp = acc.carry_spacing
+    H = 0
+    pos = sp - 1
+    while pos < width:
+        H |= 1 << pos
+        pos += sp
+    notH = ~H & mask
+    lsb = acc.lsb_exp
+    state = acc._state
+    S, C = state.sum, state.carry
+    ops = 0
+    try:
+        for ai, bi in zip(a, b):
+            x = fp_mul_fast(ai, bi, fmt=BINARY64)
+            cls = x.cls
+            if cls is not FpClass.NORMAL:
+                if cls is FpClass.ZERO:
+                    ops += 1
+                    continue
+                raise AccumulatorOverflow("non-finite addend")
+            shift = x.biased_exponent - 1023 - 52 - lsb
+            mant = x.fraction | (1 << 52)
+            if x.sign:
+                mant = -mant
+            addend = (mant << shift) if shift >= 0 else (mant >> (-shift))
+            if addend.bit_length() >= width:
+                raise AccumulatorOverflow(
+                    f"|x| = 2^{x.biased_exponent - 1023} exceeds the "
+                    f"window (max_exp={acc.max_exp})")
+            w = addend & mask
+            # one 3:2 level, then the chunked Carry Reduce as a single
+            # SWAR pass (same identity as the FMA window datapath)
+            t = S ^ C
+            s3 = (t ^ w) & mask
+            c3 = (((S & C) | (t & w)) << 1) & mask
+            z = (s3 & notH) + (c3 & notH)
+            axb = s3 ^ c3
+            S = (z & notH) | ((z ^ axb) & H)
+            C = ((((s3 & c3) | (axb & z)) & H) << 1) & mask
+            ops += 1
+    finally:
+        acc._state = CSNumber(S, C, width)
+        acc._ops += ops
+    return acc

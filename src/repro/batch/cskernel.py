@@ -1,0 +1,391 @@
+"""Fast bit-exact kernel for the PCS/FCS carry-save FMA datapath.
+
+This is the batched engine's core: a re-implementation of
+:meth:`repro.fma.csfma.CSFmaUnit.fma` that produces *bit-identical*
+results (every mantissa sum/carry digit, rounding-data digit, exponent
+and flag) while avoiding the per-digit modelling machinery of the
+faithful path:
+
+* values travel as plain tuples instead of ``CSFloat``/``CSNumber``
+  dataclasses (no constructor validation per step);
+* the multiplier uses compiled straight-line Wallace trees
+  (:mod:`repro.batch.trees`) keyed by the popcount of the ``B``
+  significand;
+* the Carry Reduce stage runs as a single SWAR expression over the whole
+  window instead of a per-chunk loop;
+* the PCS Zero Detector uses the closed form
+  ``skipped = min(max_skip, (rsb - 1) // block)`` where ``rsb`` is the
+  number of redundant leading sign bits of the collapsed window -- the
+  quantity :func:`repro.cs.zero_detect.count_skippable_blocks` searches
+  for block by block;
+* the FCS leading-zero anticipator is inlined (same Schmookler-style
+  indicator as :func:`repro.cs.lza.lza_estimate`).
+
+The equivalence arguments (and the differential tests backing them) live
+in ``tests/test_batch_differential.py``; the faithful scalar unit remains
+the reference model for everything, including traces and strict-mode
+assertions, which this kernel intentionally does not reproduce.
+
+Internal value convention
+-------------------------
+A carry-save value is the tuple
+``(cls, exp, m_sum, m_carry, r_sum, r_carry, sign_hint)`` with ``cls``
+the integer :class:`~repro.fp.value.FpClass` value; an IEEE ``B``
+operand is ``(cls, sign, unbiased_exp, significand)``.
+"""
+
+from __future__ import annotations
+
+from ..fma.csfma import CSFmaUnit
+from ..fma.formats import CSFloat, CSFmaParams
+from ..fp.formats import BINARY64
+from ..fp.value import FpClass, FPValue
+from .trees import tree_depth, tree_fn
+
+__all__ = ["FastCSKernel", "kernel_for", "bit_positions",
+           "CS_ZERO", "CS_NORMAL", "CS_INF", "CS_NAN"]
+
+CS_ZERO, CS_NORMAL, CS_INF, CS_NAN = 0, 1, 2, 3
+
+_KERNELS: dict[tuple[int, str, bool], "FastCSKernel"] = {}
+
+
+def kernel_for(unit: CSFmaUnit) -> "FastCSKernel | None":
+    """Fast kernel matching ``unit``, or ``None`` when the unit's extra
+    behaviour (strict-mode invariant checks) requires the faithful path."""
+    if unit.strict:
+        return None
+    key = (id(unit.params), unit.selector, unit.use_carry_reduce)
+    k = _KERNELS.get(key)
+    if k is None:
+        k = FastCSKernel(unit.params, unit.selector, unit.use_carry_reduce)
+        _KERNELS[key] = k
+    return k
+
+
+def bit_positions(word: int) -> tuple[int, ...]:
+    """Ascending set-bit positions (the multiplier's row shifts)."""
+    out = []
+    while word:
+        low = word & -word
+        out.append(low.bit_length() - 1)
+        word &= word - 1
+    return tuple(out)
+
+
+class FastCSKernel:
+    """Bit-exact fast twin of one :class:`CSFmaUnit` configuration."""
+
+    def __init__(self, params: CSFmaParams, selector: str,
+                 use_carry_reduce: bool):
+        p = self.params = params
+        self.selector = selector
+        self.use_carry_reduce = use_carry_reduce
+        self.W = W = p.window_width
+        self.wmask = (1 << W) - 1
+        self.block = p.block
+        self.bmask = (1 << p.block) - 1
+        self.mw = p.mant_width
+        self.mmask = (1 << p.mant_width) - 1
+        self.msign = 1 << (p.mant_width - 1)
+        self.frac = p.frac_bits
+        self.bsig = p.b_sig_bits
+        self.plsb = p.product_lsb
+        self.pw = p.product_width
+        self.pmask = (1 << p.product_width) - 1
+        self.psign = 1 << (p.product_width - 1)
+        self.amax = p.addend_max_pos
+        self.max_skip = p.window_blocks - p.mant_blocks
+        self.mcmask = p.mant_carry_mask
+        self.rcmask = p.round_carry_mask
+        self.emin, self.emax = p.exp_min, p.exp_max
+        # SWAR carry-reduce constants: H marks the top bit of each
+        # carry-spacing chunk.
+        sp = p.carry_spacing
+        H = 0
+        pos = sp - 1
+        while pos < W:
+            H |= 1 << pos
+            pos += sp
+        self.H = H
+        self.notH = ~H & self.wmask
+        self.ieee_shift = self.frac - BINARY64.fraction_bits
+
+    # -- conversions ---------------------------------------------------
+
+    def lift_cs(self, x: CSFloat) -> tuple:
+        """CSFloat -> internal tuple (exact field copy)."""
+        return (x.cls.value, x.exp, x.mant.sum, x.mant.carry,
+                x.round_data.sum, x.round_data.carry, x.sign_hint)
+
+    def lift_ieee(self, x: FPValue) -> tuple:
+        """IEEE -> internal tuple; bit-identical to
+        ``lift_cs(ieee_to_cs(x, params))``."""
+        if x.cls is not FpClass.NORMAL:
+            return (x.cls.value, 0, 0, 0, 0, 0, x.sign)
+        fmt = x.fmt
+        m = (x.fraction | (1 << fmt.fraction_bits)) << (
+            self.frac - fmt.fraction_bits)
+        if x.sign:
+            m = -m
+        return (CS_NORMAL, x.biased_exponent - fmt.bias,
+                m & self.mmask, 0, 0, 0, 0)
+
+    def lift_b(self, x: FPValue) -> tuple:
+        """IEEE ``B`` operand -> ``(cls, sign, unbiased_exp, sig)``."""
+        if x.cls is FpClass.NORMAL:
+            return (CS_NORMAL, x.sign, x.biased_exponent - x.fmt.bias,
+                    x.fraction | (1 << x.fmt.fraction_bits))
+        return (x.cls.value, x.sign, 0, 0)
+
+    def lower(self, t: tuple) -> CSFloat:
+        """Internal tuple -> CSFloat (for the format boundary only)."""
+        from ..cs.csnumber import CSNumber
+
+        p = self.params
+        cls = t[0]
+        if cls == CS_NORMAL:
+            mant = CSNumber(t[2], t[3], p.mant_width, p.mant_carry_mask)
+            rnd = CSNumber(t[4], t[5], p.block, p.round_carry_mask)
+            return CSFloat(p, FpClass.NORMAL, t[1], mant, rnd)
+        return CSFloat(p, FpClass(cls), sign_hint=t[6])
+
+    # -- the multiplier -------------------------------------------------
+
+    def product(self, cv: int, pos: tuple, width: int,
+                mask: int) -> tuple[int, int]:
+        """CS product of the signed multiplicand ``cv`` with the
+        significand whose set bits are ``pos``, modulo ``2**width``.
+
+        Returns what ``multiply_mantissa(..., out_width=width)`` returns,
+        up to bits the callers mask away (`& mask` commutes upward
+        through the tree; see :mod:`repro.batch.trees`).
+        """
+        R = len(pos)
+        if cv >= 0 and cv.bit_length() + pos[-1] + tree_depth(R) <= width:
+            s, c = tree_fn(R, False)(cv, mask, pos)
+            return s & mask, c & mask
+        return tree_fn(R, True)(cv & mask, mask, pos)
+
+    # -- the datapath ----------------------------------------------------
+
+    def fma(self, a: tuple, b: tuple, c: tuple,
+            pos: tuple | None = None) -> tuple:
+        """``a + b * c``; bit-identical to the scalar unit.
+
+        ``pos`` optionally carries the precomputed set-bit positions of
+        ``b``'s significand (batch callers hoist it out of inner loops).
+        """
+        acls = a[0]
+        bcls = b[0]
+        ccls = c[0]
+        # special values (flag wires), mirroring CSFmaUnit._special_case
+        if acls == CS_NAN or bcls == CS_NAN or ccls == CS_NAN:
+            return (CS_NAN, 0, 0, 0, 0, 0, 0)
+        if bcls == CS_INF or ccls == CS_INF or acls == CS_INF:
+            mmask = self.mmask
+            if ccls == CS_NORMAL:
+                v = (c[2] + c[3]) & mmask
+                csign = 1 if v & self.msign else 0
+            else:
+                csign = c[6]
+            psign = b[1] ^ csign
+            if bcls == CS_INF or ccls == CS_INF:
+                if bcls == CS_ZERO or ccls == CS_ZERO:
+                    return (CS_NAN, 0, 0, 0, 0, 0, 0)
+                if acls == CS_INF and a[6] != psign:
+                    return (CS_NAN, 0, 0, 0, 0, 0, 0)
+                return (CS_INF, 0, 0, 0, 0, 0, psign)
+            return (CS_INF, 0, 0, 0, 0, 0, a[6])
+
+        block = self.block
+        bmask = self.bmask
+        mmask = self.mmask
+        msign = self.msign
+        mw = self.mw
+
+        # stage 1: deferred rounding decisions
+        if ccls == CS_NORMAL:
+            dec_c = ((c[4] + c[5]) & bmask) >> (block - 1)
+            v = (c[2] + c[3]) & mmask
+            c_used = (v - (1 << mw) if v & msign else v) + dec_c
+        else:
+            c_used = 0
+        if acls == CS_NORMAL:
+            dec_a = ((a[4] + a[5]) & bmask) >> (block - 1)
+            v = (a[2] + a[3]) & mmask
+            a_used = (v - (1 << mw) if v & msign else v) + dec_a
+        else:
+            a_used = 0
+        p_nonzero = bcls == CS_NORMAL and ccls == CS_NORMAL and c_used != 0
+        a_nonzero = acls == CS_NORMAL and a_used != 0
+        if not p_nonzero and not a_nonzero:
+            return (CS_ZERO, 0, 0, 0, 0, 0, a[6] if acls == CS_ZERO else 0)
+
+        W = self.W
+        wmask = self.wmask
+        frac = self.frac
+
+        # stage 2: window anchoring
+        if p_nonzero:
+            e_f = b[2] + c[1]
+            w0 = e_f - (self.bsig - 1) - frac - self.plsb
+            if a_nonzero:
+                aw = a[1] - frac - self.amax
+                if aw > w0:
+                    w0 = aw
+        else:
+            w0 = a[1] - frac - self.amax
+
+        # stage 3: multiplier (compiled tree at the exact modulus needed)
+        r1 = None
+        a_row = 0
+        if p_nonzero:
+            p_pos = (e_f - (self.bsig - 1) - frac) - w0
+            cv = -c_used if b[1] else c_used
+            if pos is None:
+                pos = bit_positions(b[3])
+            if p_pos >= 0:
+                ow = W - p_pos
+                S, C = self.product(cv, pos, ow, (1 << ow) - 1)
+                r0 = (S << p_pos) & wmask
+                r1 = (C << p_pos) & wmask
+            else:
+                # product entirely below the window: collapse and
+                # floor-shift the signed value (the scalar unit's
+                # documented modelling liberty)
+                S, C = self.product(cv, pos, self.pw, self.pmask)
+                pv = (S + C) & self.pmask
+                if pv & self.psign:
+                    pv -= self.psign << 1
+                r0 = (pv >> (-p_pos)) & wmask
+
+        # stage 4: addend pre-shift
+        if a_nonzero:
+            a_pos = (a[1] - frac) - w0
+            a_row = ((a_used << a_pos) if a_pos >= 0
+                     else (a_used >> (-a_pos))) & wmask
+
+        # stage 5: wide CSA (at most 3 rows -> at most one 3:2 level)
+        if p_nonzero:
+            if r1 is not None:
+                if a_nonzero:
+                    t = r0 ^ r1
+                    w_sum = t ^ a_row
+                    w_carry = (((r0 & r1) | (t & a_row)) << 1) & wmask
+                else:
+                    w_sum = r0
+                    w_carry = r1
+            elif a_nonzero:
+                w_sum = r0
+                w_carry = a_row
+            else:
+                w_sum = r0
+                w_carry = 0
+        else:
+            w_sum = a_row
+            w_carry = 0
+
+        # stage 6: Carry Reduce (PCS) as one SWAR pass: each
+        # carry-spacing chunk adds sum+carry with the chunk's carry-out
+        # re-emitted at the next chunk's LSB.
+        if self.use_carry_reduce:
+            A = w_sum
+            B = w_carry
+            H = self.H
+            notH = self.notH
+            z = (A & notH) + (B & notH)
+            axb = A ^ B
+            w_sum = (z & notH) | ((z ^ axb) & H)
+            w_carry = ((((A & B) | (axb & z)) & H) << 1) & wmask
+
+        value = (w_sum + w_carry) & wmask
+        if value == 0:
+            return (CS_ZERO, 0, 0, 0, 0, 0, 0)
+
+        # stage 7: block normalization
+        if self.selector == "zd":
+            # closed form of the block Zero Detector: skippable blocks =
+            # redundant leading sign bits, rounded down to whole blocks
+            if value >> (W - 1):
+                inv = value ^ wmask
+                rsb = W if inv == 0 else W - inv.bit_length()
+            else:
+                rsb = W - value.bit_length()
+            skipped = (rsb - 1) // block
+            if skipped > self.max_skip:
+                skipped = self.max_skip
+            elif skipped < 0:
+                skipped = 0
+        else:
+            # inline LZA (Schmookler-style indicator, block granular)
+            prod_word = (((r0 + r1) & wmask) if r1 is not None else r0) \
+                if p_nonzero else 0
+            aa = a_row
+            t = aa ^ prod_word
+            g = aa & prod_word
+            zz = (aa | prod_word) ^ wmask
+            t_up = t >> 1
+            z_dn = ((zz << 1) | 1) & wmask
+            g_dn = (g << 1) & wmask
+            f = (t_up & ((g & ~z_dn) | (zz & ~g_dn))
+                 | (t_up ^ wmask) & ((zz & ~z_dn) | (g & ~g_dn))) & wmask
+            f &= (1 << (W - 1)) - 1
+            est = W - 1 if f == 0 else W - f.bit_length()
+            skipped = (est - 1) // block if est > 1 else 0
+            if skipped > self.max_skip:
+                skipped = self.max_skip
+
+        # stage 8: result and rounding-data slice
+        lo = block * (self.params.window_blocks - 1 - skipped
+                      - (self.params.mant_blocks - 1))
+        m_sum = (w_sum >> lo) & mmask
+        mc_full = (w_carry >> lo) & mmask
+        m_carry = mc_full & self.mcmask
+        if mc_full & ~self.mcmask:
+            raise AssertionError("carry bit outside the operand format")
+        rlo = lo - block
+        if rlo >= 0:
+            r_sum = (w_sum >> rlo) & bmask
+            r_carry = (w_carry >> rlo) & bmask & self.rcmask
+        else:
+            r_sum = r_carry = 0
+
+        # stage 9: exponent update and range check
+        e_r = w0 + lo + frac
+        if e_r > self.emax:
+            return (CS_INF, 0, 0, 0, 0, 0, 1 if value >> (W - 1) else 0)
+        if e_r < self.emin:
+            return (CS_ZERO, 0, 0, 0, 0, 0, 1 if value >> (W - 1) else 0)
+        return (CS_NORMAL, e_r, m_sum, m_carry, r_sum, r_carry, 0)
+
+    # -- batch entry points ----------------------------------------------
+
+    def dot_tuple(self, a, b) -> tuple:
+        """Fused dot product, accumulator kept as an internal tuple.
+
+        Bit-identical to the
+        :meth:`repro.fma.dotprod.FusedDotProductUnit.dot` accumulator
+        chain ``acc = fma(acc, a_i, lift(b_i))``.
+        """
+        shift = self.ieee_shift
+        mmask = self.mmask
+        fma = self.fma
+        lift_ieee = self.lift_ieee
+        lift_b = self.lift_b
+        acc = (CS_ZERO, 0, 0, 0, 0, 0, 0)
+        one = 1 << 52
+        for ai, bi in zip(a, b):
+            if (ai.cls is FpClass.NORMAL and bi.cls is FpClass.NORMAL
+                    and ai.fmt is BINARY64 and bi.fmt is BINARY64):
+                m = (bi.fraction | one) << shift
+                if bi.sign:
+                    m = -m
+                ct = (CS_NORMAL, bi.biased_exponent - 1023, m & mmask,
+                      0, 0, 0, 0)
+                sig = ai.fraction | one
+                bt = (CS_NORMAL, ai.sign, ai.biased_exponent - 1023, sig)
+                acc = fma(acc, bt, ct, bit_positions(sig))
+            else:
+                acc = fma(acc, lift_b(ai), lift_ieee(bi))
+        return acc

@@ -1,0 +1,42 @@
+"""LRU memoization for the hardware-model lookup paths.
+
+The experiment drivers (`fig13`, `table1`, `ablation`, ...) re-derive
+identical synthesis reports on every call -- ``synthesize_by_name`` walks
+the whole netlist/pipeline model each time even though its inputs (unit
+name, frozen :class:`FpgaDevice`, target clock) and its output (frozen
+:class:`SynthesisReport`) are immutable values.  The caches installed by
+:mod:`repro.hw` (see ``device_by_name`` / ``synthesize_by_name``) are
+plain :func:`functools.lru_cache` wrappers; this module centralizes
+introspection and invalidation so tests and long-running services can
+manage them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["hw_cache_info", "clear_hw_caches", "cached_lookups"]
+
+
+def cached_lookups() -> dict[str, Callable]:
+    """The memoized hw lookup functions currently installed."""
+    from ..hw.synthesis import synthesize_by_name
+    from ..hw.technology import device_by_name
+
+    return {
+        "device_by_name": device_by_name,
+        "synthesize_by_name": synthesize_by_name,
+    }
+
+
+def hw_cache_info() -> dict[str, object]:
+    """``lru_cache`` statistics per memoized lookup (hits/misses/size)."""
+    return {name: fn.cache_info()
+            for name, fn in cached_lookups().items()}
+
+
+def clear_hw_caches() -> None:
+    """Invalidate every hw lookup cache (e.g. after monkeypatching a
+    device model in tests)."""
+    for fn in cached_lookups().values():
+        fn.cache_clear()

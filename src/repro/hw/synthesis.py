@@ -9,6 +9,7 @@ of a single multiply-add -- is ``cycles * min clock period``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from .netlist import UnitDesign, design_by_name
 from .pipeline import cut_pipeline, cut_pipeline_fixed
@@ -88,8 +89,14 @@ def synthesize(design: UnitDesign, device: FpgaDevice = VIRTEX6,
     )
 
 
+@lru_cache(maxsize=256)
 def synthesize_by_name(name: str, device: FpgaDevice = VIRTEX6,
                        target_mhz: float = 200.0) -> SynthesisReport:
+    """Memoized synthesis lookup: the arguments and the returned report
+    are immutable value objects, and the experiment drivers re-query the
+    same (unit, device, clock) points on every table/figure rebuild.
+    Manage the cache via :mod:`repro.batch.memo` if a device model is
+    monkeypatched."""
     return synthesize(design_by_name(name, device), device, target_mhz)
 
 

@@ -20,6 +20,7 @@ does not (Sec. III-H).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 __all__ = ["FpgaDevice", "VIRTEX5", "VIRTEX6", "VIRTEX7", "device_by_name"]
 
@@ -132,8 +133,10 @@ VIRTEX7 = FpgaDevice(
 _DEVICES = {d.name: d for d in (VIRTEX5, VIRTEX6, VIRTEX7)}
 
 
+@lru_cache(maxsize=None)
 def device_by_name(name: str) -> FpgaDevice:
-    """Look up a device model by canonical name."""
+    """Look up a device model by canonical name (memoized; the device
+    models are frozen value objects, so sharing them is safe)."""
     try:
         return _DEVICES[name]
     except KeyError:

@@ -118,14 +118,69 @@ def symbolic_ldl(pattern: np.ndarray,
     return SymbolicLDL(n, perm, tuple(lpat))
 
 
-def numeric_ldl(K: np.ndarray, sym: SymbolicLDL,
+def _batch_plan(sym: SymbolicLDL) -> dict:
+    """Static gather plan for the batched factor/solve kernels.
+
+    Everything here depends only on the sparsity (the CVXGEN premise:
+    the elimination schedule is known ahead of time), so it is computed
+    once per :class:`SymbolicLDL` and cached on the instance:
+
+    * per-row / per-column index arrays of L,
+    * for every L entry ``(i, j)``, aligned gather positions of the
+      update terms ``L[i,k] * L[j,k] * D[k]`` (``k`` in row ``i`` and
+      row ``j``), in the same ``k`` order as the scalar loop.
+    """
+    plan = getattr(sym, "_batch_plan", None)
+    if plan is not None:
+        return plan
+    rows = sym.rows()
+    cols = sym.cols()
+    entof = {ij: ent for ent, ij in enumerate(sym.l_pattern)}
+    rowpos = [{k: t for t, k in enumerate(r)} for r in rows]
+    by_col: list[list[tuple]] = [[] for _ in range(sym.n)]
+    for ent, (i, j) in enumerate(sym.l_pattern):
+        pos_i = rowpos[i]
+        pi, pj, ks = [], [], []
+        for t, k in enumerate(rows[j]):
+            ti = pos_i.get(k)
+            if ti is not None:
+                pi.append(ti)
+                pj.append(t)
+                ks.append(k)
+        by_col[j].append((i, ent,
+                          np.asarray(pi, dtype=np.intp),
+                          np.asarray(pj, dtype=np.intp),
+                          np.asarray(ks, dtype=np.intp)))
+    plan = {
+        "rows": rows,
+        "cols": cols,
+        "row_idx": [np.asarray(r, dtype=np.intp) for r in rows],
+        "col_idx": [np.asarray(c, dtype=np.intp) for c in cols],
+        "row_ent": [np.asarray([entof[(i, j)] for j in rows[i]],
+                               dtype=np.intp) for i in range(sym.n)],
+        "col_ent": [np.asarray([entof[(i, j)] for i in cols[j]],
+                               dtype=np.intp) for j in range(sym.n)],
+        "by_col": by_col,
+    }
+    object.__setattr__(sym, "_batch_plan", plan)
+    return plan
+
+
+def numeric_ldl(K: np.ndarray, sym: SymbolicLDL, *, use_batch: bool = True,
                 ) -> tuple[dict[tuple[int, int], float], np.ndarray]:
     """Factor ``K`` (symmetric, quasidefinite) as ``P' K P = L D L'``.
 
     Returns the sparse L entries (permuted coordinates) and the diagonal
     D.  No pivoting is performed -- exactly the static schedule the
     generated hardware/code uses.
+
+    ``use_batch`` evaluates the inner-product update terms through
+    vectorized elementwise gathers (:mod:`repro.batch` wiring).  The
+    term products and the serial subtraction order are unchanged, so
+    the factors are bit-identical to the scalar loop.
     """
+    if use_batch:
+        return _numeric_ldl_batch(K, sym)
     n = sym.n
     perm = sym.order
     Kp = K[np.ix_(perm, perm)]
@@ -154,17 +209,87 @@ def numeric_ldl(K: np.ndarray, sym: SymbolicLDL,
     return L, D
 
 
+def _numeric_ldl_batch(K: np.ndarray, sym: SymbolicLDL,
+                       ) -> tuple[dict[tuple[int, int], float], np.ndarray]:
+    """Batched twin of the scalar ``numeric_ldl`` loop.
+
+    L values live in a flat array indexed by the static entry order;
+    each update term ``(L[i,k] * L[j,k]) * D[k]`` is formed elementwise
+    (same association as the scalar expression) and subtracted in the
+    same serial order, keeping every rounding identical.
+    """
+    n = sym.n
+    perm = sym.order
+    Kp = K[np.ix_(perm, perm)]
+    plan = _batch_plan(sym)
+    lval = np.zeros(len(sym.l_pattern))
+    D = np.zeros(n)
+    by_col = plan["by_col"]
+    row_ent = plan["row_ent"]
+    row_idx = plan["row_idx"]
+    for j in range(n):
+        acc = Kp[j, j]
+        ents = row_ent[j]
+        if len(ents):
+            ljk = lval[ents]
+            for t in ((ljk * ljk) * D[row_idx[j]]).tolist():
+                acc -= t
+        if acc == 0.0:
+            raise ZeroDivisionError(
+                f"zero pivot at position {j}; regularize the KKT system")
+        D[j] = acc
+        for i, ent, pi, pj, ks in by_col[j]:
+            s = Kp[i, j]
+            if len(ks):
+                li = lval[row_ent[i][pi]]
+                lj = lval[row_ent[j][pj]]
+                for t in ((li * lj) * D[ks]).tolist():
+                    s -= t
+            lval[ent] = s / D[j]
+    L = {ij: lval[ent] for ent, ij in enumerate(sym.l_pattern)}
+    return L, D
+
+
 def ldl_solve(L: dict[tuple[int, int], float], D: np.ndarray,
-              sym: SymbolicLDL, rhs: np.ndarray) -> np.ndarray:
+              sym: SymbolicLDL, rhs: np.ndarray, *,
+              use_batch: bool = True) -> np.ndarray:
     """Solve ``K x = rhs`` given the factorization.
 
     This is the numeric twin of the generated `ldlsolve()` kernel:
     forward substitution, diagonal scaling, backward substitution, all
     on the fixed sparsity -- long chains of multiply-add operations.
+
+    ``use_batch`` gathers each substitution row's products elementwise
+    before the (still serial, hence bit-identical) subtractions.
     """
     n = sym.n
     perm = sym.order
     b = rhs[perm].astype(float).copy()
+    if use_batch:
+        plan = _batch_plan(sym)
+        row_idx, col_idx = plan["row_idx"], plan["col_idx"]
+        lrow = [np.asarray([L[(i, j)] for j in plan["rows"][i]])
+                for i in range(n)]
+        lcol = [np.asarray([L[(j, i)] for j in plan["cols"][i]])
+                for i in range(n)]
+        y = np.zeros(n)
+        for i in range(n):
+            acc = b[i]
+            if len(lrow[i]):
+                for t in (lrow[i] * y[row_idx[i]]).tolist():
+                    acc -= t
+            y[i] = acc
+        z = y / D
+        x = np.zeros(n)
+        for i in range(n - 1, -1, -1):
+            acc = z[i]
+            if len(lcol[i]):
+                for t in (lcol[i] * x[col_idx[i]]).tolist():
+                    acc -= t
+            x[i] = acc
+        out = np.zeros(n)
+        out[perm] = x
+        return out
     rows = sym.rows()
     cols = sym.cols()
     # forward: L y = b

@@ -1,0 +1,98 @@
+"""Golden-vector regression: hard rounding cases for every FMA unit.
+
+``tests/vectors/fma_hard_cases.json`` stores ~200 adversarial operand
+triples -- double-rounding ties and near-ties, massive cancellation, and
+window-edge alignments -- with the expected binary64 result of each FMA
+flavor.  The vectors pin the faithful scalar units *and* the batched
+fast path of :mod:`repro.batch` to the same goldens, so a regression in
+either implementation (or a silent divergence between them) fails here
+even if the differential property tests happen not to sample the case.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import pytest
+
+from repro.batch import fma_batch, fp_fma_fast
+from repro.fma import FcsFmaUnit, PcsFmaUnit, cs_to_ieee, ieee_to_cs
+from repro.fma.classic import ClassicFmaUnit
+from repro.fp import BINARY64, FPValue
+
+VECTORS = Path(__file__).parent / "vectors" / "fma_hard_cases.json"
+
+UNIT_NAMES = ["classic-fma", "pcs-fma", "fcs-fma"]
+
+
+def load_cases() -> list[dict]:
+    doc = json.loads(VECTORS.read_text())
+    assert doc["units"] == UNIT_NAMES
+    return doc["cases"]
+
+
+CASES = load_cases()
+
+
+def from_bits(word: str) -> FPValue:
+    x = struct.unpack("<d", struct.pack("<Q", int(word, 16)))[0]
+    return FPValue.from_float(x, BINARY64)
+
+
+def to_bits(v: FPValue) -> str:
+    return "0x%016x" % struct.unpack("<Q", struct.pack("<d",
+                                                       v.to_float()))[0]
+
+
+def case_ids() -> list[str]:
+    return [c["id"] for c in CASES]
+
+
+class TestVectorFile:
+    def test_coverage(self):
+        assert len(CASES) >= 200
+        categories = {c["category"] for c in CASES}
+        assert {"double-rounding", "cancellation",
+                "window-edge"} <= categories
+        assert len({c["id"] for c in CASES}) == len(CASES)
+        for c in CASES:
+            assert set(c["expected"]) == set(UNIT_NAMES)
+
+
+@pytest.mark.parametrize("case", CASES, ids=case_ids())
+class TestScalarUnits:
+    def test_classic(self, case):
+        a, b, c = (from_bits(case[k]) for k in "abc")
+        out = ClassicFmaUnit(BINARY64).fma(a, b, c)
+        assert to_bits(out) == case["expected"]["classic-fma"], case["note"]
+
+    @pytest.mark.parametrize("unit", [PcsFmaUnit(), FcsFmaUnit()],
+                             ids=lambda u: u.name)
+    def test_carry_save(self, case, unit):
+        a, b, c = (from_bits(case[k]) for k in "abc")
+        out = cs_to_ieee(unit.fma(ieee_to_cs(a, unit.params), b,
+                                  ieee_to_cs(c, unit.params)))
+        assert to_bits(out) == case["expected"][unit.name], case["note"]
+
+
+class TestBatchedPath:
+    """The fast path must reproduce the same goldens in one sweep."""
+
+    def test_fp_fma_fast(self):
+        for case in CASES:
+            a, b, c = (from_bits(case[k]) for k in "abc")
+            out = fp_fma_fast(a, b, c, fmt=BINARY64)
+            assert to_bits(out) == case["expected"]["classic-fma"], case
+
+    @pytest.mark.parametrize("unit", [PcsFmaUnit(), FcsFmaUnit()],
+                             ids=lambda u: u.name)
+    def test_fma_batch(self, unit):
+        a = [from_bits(c["a"]) for c in CASES]
+        b = [from_bits(c["b"]) for c in CASES]
+        c = [from_bits(c["c"]) for c in CASES]
+        outs = fma_batch(a, b, c, unit=unit)
+        for case, out in zip(CASES, outs):
+            got = to_bits(cs_to_ieee(out))
+            assert got == case["expected"][unit.name], case
