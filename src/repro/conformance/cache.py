@@ -1,0 +1,123 @@
+"""Persistent, content-addressed conformance result cache.
+
+A shard's outcome is a pure function of *(the code under test, the
+golden-vector file, the shard spec)*, so its result can be reused across
+runs as long as none of those inputs changed.  The cache key is::
+
+    sha256(code fingerprint || golden-vector sha256 || spec JSON || salt)
+
+where the *code fingerprint* hashes the path and content of every
+``.py`` file under the installed :mod:`repro` package -- any edit to any
+datapath, oracle, or to the conformance harness itself invalidates every
+cached shard (deliberately coarse: a stale "pass" is the one failure
+mode a conformance cache must never have).
+
+Entries are one JSON file per key, written atomically (tmp + rename) so
+concurrent sweeps sharing a cache directory never observe torn entries.
+Mutation shards are never cached -- the injected fault is process-local
+state that the fingerprint cannot see.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from .workunits import ShardSpec, golden_vector_path
+
+__all__ = ["code_fingerprint", "shard_key", "ResultCache",
+           "default_cache_dir"]
+
+_fingerprint_memo: dict[str, str] = {}
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CONFORMANCE_CACHE`` or ``.conformance-cache`` in cwd."""
+    env = os.environ.get("REPRO_CONFORMANCE_CACHE")
+    return Path(env) if env else Path.cwd() / ".conformance-cache"
+
+
+def code_fingerprint(extra: str = "") -> str:
+    """SHA-256 over every source file of the :mod:`repro` package.
+
+    ``extra`` folds additional invalidation tokens into the digest
+    (tests use it to simulate a code change without touching files).
+    Memoized per process: the sweep computes it once, not per shard.
+    """
+    memo = _fingerprint_memo.get(extra)
+    if memo is not None:
+        return memo
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        h.update(str(path.relative_to(root)).encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    h.update(extra.encode())
+    digest = h.hexdigest()
+    _fingerprint_memo[extra] = digest
+    return digest
+
+
+def shard_key(spec: ShardSpec, fingerprint: str | None = None,
+              salt: str = "") -> str:
+    """Content-hash cache key of one shard."""
+    if spec.mutation is not None:
+        raise ValueError("mutation shards are never cached")
+    fp = fingerprint if fingerprint is not None else code_fingerprint()
+    h = hashlib.sha256()
+    h.update(fp.encode())
+    if "golden" in spec.families:
+        h.update(hashlib.sha256(
+            golden_vector_path().read_bytes()).hexdigest().encode())
+    h.update(json.dumps(spec.to_dict(), sort_keys=True).encode())
+    h.update(salt.encode())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """On-disk shard-result store, one JSON file per content key."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        path = self._path(key)
+        try:
+            return json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+
+    def put(self, key: str, result: dict) -> None:
+        payload = json.dumps(result, sort_keys=True, indent=1)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(payload)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        n = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            n += 1
+        return n

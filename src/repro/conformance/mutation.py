@@ -1,0 +1,126 @@
+"""Mutation smoke-checks: prove the conformance harness has teeth.
+
+A differential harness that never fires is indistinguishable from one
+that cannot fire.  This module injects *known single-bit faults* into
+the fast CS kernel (:class:`repro.batch.cskernel.FastCSKernel`) and the
+runner then asserts the sweep reports mismatches.  If a registered fault
+survives a sweep undetected, the harness -- not the datapath -- is
+broken.
+
+Faults are applied by monkey-patching the kernel class inside a context
+manager (the worker applies it per shard and always restores, because
+pool processes are reused).  The kernel memo table is cleared on both
+entry and exit so no pre-built clean kernel leaks into a mutated run or
+vice versa.
+
+Registered faults
+-----------------
+``carry-chunk-boundary``
+    Flips the mid-window marker bit of the SWAR Carry Reduce constant
+    ``H`` (and recomputes ``notH``): two adjacent 11-bit chunks in the
+    product region merge, so their chunk carry propagates instead of
+    being re-emitted as an explicit carry bit.  PCS only -- the FCS
+    unit has no Carry Reduce stage, exactly like the hardware.
+``mant-lsb``
+    XORs bit 0 into the mantissa sum word of every normal result -- a
+    stuck-at fault on the result bus, the loudest possible mutant.
+``round-data-drop``
+    Zeroes the rounding-data carry word: silently degrades the deferred
+    rounding information a downstream fused consumer would use.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from ..batch import cskernel
+from ..batch.cskernel import CS_NORMAL, FastCSKernel
+
+__all__ = ["MUTATIONS", "injected", "mutation_units"]
+
+
+def _patch_carry_chunk(cls) -> dict:
+    orig_init = cls.__init__
+
+    def init(self, params, selector, use_carry_reduce):
+        orig_init(self, params, selector, use_carry_reduce)
+        if self.H:
+            # the marker nearest mid-window: inside the product span,
+            # where chunk carries are actually generated (the lowest
+            # chunks sit below the product anchor and stay silent)
+            sp = params.carry_spacing
+            pos = sp - 1 + sp * ((self.W // 2) // sp)
+            bit = 1 << pos
+            if not self.H & bit:
+                bit = self.H & -self.H
+            self.H ^= bit
+            self.notH = ~self.H & self.wmask
+
+    cls.__init__ = init
+    return {"__init__": orig_init}
+
+
+def _patch_mant_lsb(cls) -> dict:
+    orig_fma = cls.fma
+
+    def fma(self, a, b, c, pos=None):
+        r = orig_fma(self, a, b, c, pos)
+        if r[0] == CS_NORMAL:
+            return (r[0], r[1], r[2] ^ 1, r[3], r[4], r[5], r[6])
+        return r
+
+    cls.fma = fma
+    return {"fma": orig_fma}
+
+
+def _patch_round_drop(cls) -> dict:
+    orig_fma = cls.fma
+
+    def fma(self, a, b, c, pos=None):
+        r = orig_fma(self, a, b, c, pos)
+        if r[0] == CS_NORMAL and r[5]:
+            return (r[0], r[1], r[2], r[3], r[4], 0, r[6])
+        return r
+
+    cls.fma = fma
+    return {"fma": orig_fma}
+
+
+#: name -> (patch function, units the fault is observable on)
+MUTATIONS = {
+    "carry-chunk-boundary": (_patch_carry_chunk, ("pcs",)),
+    "mant-lsb": (_patch_mant_lsb, ("pcs", "fcs")),
+    "round-data-drop": (_patch_round_drop, ("pcs", "fcs")),
+}
+
+
+def mutation_units(name: str) -> tuple[str, ...]:
+    """The FMA units on which ``name``'s fault is observable."""
+    return MUTATIONS[name][1]
+
+
+@contextlib.contextmanager
+def injected(name: str) -> Iterator[None]:
+    """Apply one registered fault to the fast kernel for the duration.
+
+    Clears the process-wide kernel memo on entry *and* exit so clean and
+    mutated kernels never mix; restores the patched attributes even when
+    the body raises.
+    """
+    try:
+        patch, _ = MUTATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {name!r}; registered: "
+            f"{sorted(MUTATIONS)}") from None
+    saved_kernels = dict(cskernel._KERNELS)
+    cskernel._KERNELS.clear()
+    originals = patch(FastCSKernel)
+    try:
+        yield
+    finally:
+        for attr, value in originals.items():
+            setattr(FastCSKernel, attr, value)
+        cskernel._KERNELS.clear()
+        cskernel._KERNELS.update(saved_kernels)

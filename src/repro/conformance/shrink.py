@@ -1,0 +1,155 @@
+"""Failure shrinker: minimize a mismatching case before reporting.
+
+A raw conformance counterexample is a triple (or stream) of arbitrary
+64-bit patterns -- unreadable and over-specified.  The shrinker performs
+greedy delta-debugging against a caller-supplied predicate ("does this
+input still mismatch?"), which for the conformance runner is simply a
+re-run of the differential check:
+
+* **streams** (chains, dot products) first drop elements one at a time
+  (ddmin with chunk size 1 is enough at conformance lengths);
+* **operands** then shrink individually through a move ladder ordered by
+  how much each move simplifies the value: replace with 1.0, clear the
+  sign, zero the fraction, clear the low half of the remaining fraction
+  bits, and halve the exponent's distance from 0.
+
+The loop re-applies the ladder until a full pass makes no progress, so
+the result is 1-minimal with respect to the moves.  Shrinking is bounded
+by ``max_evals`` predicate calls -- a mismatch found by a mutation run
+can fire on *every* case, and the shrinker must not turn a smoke check
+into a long search.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+__all__ = ["shrink_triple", "shrink_stream", "simplicity_score"]
+
+_ONE = 0x3FF0000000000000       # binary64 1.0
+_SIGN = 1 << 63
+_FRAC = (1 << 52) - 1
+_EXPF = 0x7FF
+
+
+def simplicity_score(words: Sequence[int]) -> tuple[int, int, int]:
+    """Lexicographic cost: (stream length, set fraction bits, total
+    exponent distance from bias).  Lower is simpler."""
+    frac_bits = sum(bin(w & _FRAC).count("1") for w in words)
+    exp_dist = 0
+    for w in words:
+        e = (w >> 52) & _EXPF
+        if 0 < e < _EXPF:
+            exp_dist += abs(e - 1023)
+    return (len(words), frac_bits, exp_dist)
+
+
+def _operand_moves(w: int):
+    """Candidate simplifications of one operand, most aggressive first."""
+    if w != _ONE:
+        yield _ONE
+    if w & _SIGN:
+        yield w & ~_SIGN
+    frac = w & _FRAC
+    if frac:
+        yield w & ~_FRAC
+        # clear the low half of the set fraction bits
+        kept = frac
+        for _ in range(bin(frac).count("1") // 2):
+            kept &= kept - 1
+        if kept != frac:
+            yield (w & ~_FRAC) | kept
+    e = (w >> 52) & _EXPF
+    if 0 < e < _EXPF and e != 1023:
+        mid = 1023 + (e - 1023) // 2
+        yield (w & ~(_EXPF << 52)) | (mid << 52)
+        step = e - 1 if e > 1023 else e + 1
+        yield (w & ~(_EXPF << 52)) | (step << 52)
+
+
+class _Budget:
+    def __init__(self, max_evals: int):
+        self.left = max_evals
+
+    def spend(self) -> bool:
+        if self.left <= 0:
+            return False
+        self.left -= 1
+        return True
+
+
+def _shrink_words(words: list[int],
+                  predicate: Callable[[Sequence[int]], bool],
+                  budget: _Budget) -> tuple[list[int], int]:
+    evals = 0
+    progress = True
+    while progress:
+        progress = False
+        for i in range(len(words)):
+            for candidate in _operand_moves(words[i]):
+                if not budget.spend():
+                    return words, evals
+                evals += 1
+                trial = list(words)
+                trial[i] = candidate
+                if predicate(trial):
+                    words = trial
+                    progress = True
+                    break
+    return words, evals
+
+
+def shrink_triple(a: int, b: int, c: int,
+                  predicate: Callable[[int, int, int], bool],
+                  max_evals: int = 400) -> dict:
+    """Minimize an ``(a, b, c)`` bit-pattern triple.
+
+    ``predicate`` must return True while the input still reproduces the
+    failure; the original triple is assumed to (and never re-checked).
+    Returns a report dict with the minimized triple, the number of
+    predicate evaluations, and before/after simplicity scores.
+    """
+    budget = _Budget(max_evals)
+    words, evals = _shrink_words(
+        [a, b, c], lambda ws: predicate(ws[0], ws[1], ws[2]), budget)
+    return {
+        "shrunk": ["0x%016x" % w for w in words],
+        "evals": evals,
+        "score_before": list(simplicity_score([a, b, c])),
+        "score_after": list(simplicity_score(words)),
+    }
+
+
+def shrink_stream(words: Sequence[int],
+                  predicate: Callable[[Sequence[int]], bool],
+                  *, head: int = 0, group: int = 1,
+                  max_evals: int = 400) -> dict:
+    """Minimize an operand stream (chain/dot case).
+
+    ``head`` operands are structural (chain seeds) and never dropped;
+    the tail is removed ``group`` elements at a time (2 for dot pairs),
+    then every surviving operand shrinks through the move ladder.
+    """
+    budget = _Budget(max_evals)
+    words = list(words)
+    dropped = True
+    while dropped and len(words) - head > group:
+        dropped = False
+        i = head
+        while i < len(words):
+            trial = words[:i] + words[i + group:]
+            if len(trial) <= head:
+                break
+            if not budget.spend():
+                break
+            if predicate(trial):
+                words = trial
+                dropped = True
+            else:
+                i += group
+    words, _ = _shrink_words(words, predicate, budget)
+    return {
+        "shrunk": ["0x%016x" % w for w in words],
+        "evals": max_evals - budget.left,
+        "score_after": list(simplicity_score(words)),
+    }

@@ -20,6 +20,10 @@ __all__ = ["table1", "fig13", "fig14", "table2", "fig15", "ablation",
 
 def __getattr__(name):
     if name == "runner":
-        from . import runner
-        return runner
+        # importlib, not ``from . import runner``: the fromlist form
+        # probes the package with hasattr first, which re-enters this
+        # __getattr__ and recurses before the submodule ever loads.
+        import importlib
+
+        return importlib.import_module(".runner", __name__)
     raise AttributeError(name)

@@ -2,20 +2,38 @@
 
 Usage::
 
-    repro-experiments              # run everything
+    repro-experiments                      # run everything, sequentially
     repro-experiments table1 fig14
+    repro-experiments --workers 4          # experiments in parallel
+    repro-experiments --cache-dir .cache   # reuse unchanged results
     python -m repro.experiments.runner fig15
+
+The driver shares the conformance subsystem's machinery
+(:mod:`repro.conformance`): with ``--workers > 1`` experiments fan out
+across the same ``ProcessPoolExecutor`` pattern the conformance sweep
+uses, and with ``--cache-dir`` each experiment's output is stored in the
+same content-hash :class:`~repro.conformance.cache.ResultCache` -- keyed
+by a fingerprint of the whole ``repro`` source tree, so any code change
+invalidates every cached table.  The ``conformance`` pseudo-experiment
+runs a differential sweep alongside the figures.
+
+A failing experiment no longer takes the whole run down silently: its
+traceback is printed to stderr, the remaining experiments still run, and
+the driver exits non-zero.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
 import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
 
 from . import ablation, fig13, fig14, fig15, table1, table2
 
-__all__ = ["main", "EXPERIMENTS"]
+__all__ = ["main", "EXPERIMENTS", "run_experiment"]
 
 
 def _run_ablation(args) -> str:
@@ -35,6 +53,21 @@ def _run_ablation(args) -> str:
     return "\n".join(parts)
 
 
+def _run_conformance(args) -> str:
+    from repro.conformance import format_summary, run_sweep
+
+    report = run_sweep(
+        shards=args.shards, workers=args.workers, seed=args.seed,
+        cases=args.runs * 4, use_cache=args.cache_dir is not None,
+        cache_dir=args.cache_dir)
+    text = format_summary(report)
+    if report["totals"]["mismatches"]:
+        raise RuntimeError(
+            f"conformance sweep found {report['totals']['mismatches']} "
+            f"mismatches:\n{text}")
+    return text
+
+
 EXPERIMENTS = {
     "table1": lambda args: table1.format_table(table1.run()),
     "fig13": lambda args: fig13.format_table(fig13.run()),
@@ -43,7 +76,29 @@ EXPERIMENTS = {
     "table2": lambda args: table2.format_table(table2.run()),
     "fig15": lambda args: fig15.format_table(fig15.run()),
     "ablation": _run_ablation,
+    "conformance": _run_conformance,
 }
+
+#: experiments that manage their own worker pool and therefore always
+#: run inline in the driver process
+_OWN_POOL = {"conformance"}
+
+
+def run_experiment(name: str, runs: int = 20, shards: int = 4,
+                   workers: int = 1, seed: int = 0,
+                   cache_dir: str | None = None) -> str:
+    """Execute one experiment by name (picklable pool entry point)."""
+    args = argparse.Namespace(runs=runs, shards=shards, workers=workers,
+                              seed=seed, cache_dir=cache_dir)
+    return EXPERIMENTS[name](args)
+
+
+def _cache_key(fingerprint: str, name: str, args) -> str:
+    h = hashlib.sha256()
+    h.update(fingerprint.encode())
+    h.update(f"experiment:{name}:runs={args.runs}:shards={args.shards}"
+             f":seed={args.seed}".encode())
+    return h.hexdigest()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,13 +111,86 @@ def main(argv: list[str] | None = None) -> int:
                         help="which experiments to run (default: all)")
     parser.add_argument("--runs", type=int, default=20,
                         help="number of random runs for fig14")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="run experiments in parallel processes")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shard count for the conformance sweep")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for the conformance sweep")
+    parser.add_argument("--cache-dir", default=None,
+                        help="reuse unchanged experiment results from "
+                             "this content-hash cache directory")
     args = parser.parse_args(argv)
     names = args.experiments or list(EXPERIMENTS)
+
+    cache = None
+    fingerprint = ""
+    if args.cache_dir is not None:
+        from repro.conformance.cache import ResultCache, code_fingerprint
+
+        cache = ResultCache(args.cache_dir)
+        fingerprint = code_fingerprint()
+
+    outputs: dict[str, str] = {}
+    failures: dict[str, str] = {}
+    started = {name: time.time() for name in names}
+
+    pending = []
     for name in names:
-        t0 = time.time()
+        if cache is not None:
+            hit = cache.get(_cache_key(fingerprint, name, args))
+            if hit is not None:
+                outputs[name] = hit["text"] + "\n[cached]"
+                continue
+        pending.append(name)
+
+    def record(name: str, exc: BaseException) -> None:
+        failures[name] = "".join(traceback.format_exception(exc))
+
+    pooled = [n for n in pending if n not in _OWN_POOL]
+    inline = [n for n in pending if n in _OWN_POOL]
+    if args.workers > 1 and len(pooled) > 1:
+        with ProcessPoolExecutor(max_workers=min(args.workers,
+                                                 len(pooled))) as pool:
+            futures = {
+                name: pool.submit(run_experiment, name, args.runs,
+                                  args.shards, 1, args.seed,
+                                  args.cache_dir)
+                for name in pooled}
+            for name, fut in futures.items():
+                try:
+                    outputs[name] = fut.result()
+                except Exception as exc:
+                    record(name, exc)
+    else:
+        inline = pending
+    for name in inline:
+        try:
+            outputs[name] = run_experiment(
+                name, args.runs, args.shards, args.workers, args.seed,
+                args.cache_dir)
+        except Exception as exc:
+            record(name, exc)
+
+    if cache is not None:
+        for name in pending:
+            if name in outputs:
+                cache.put(_cache_key(fingerprint, name, args),
+                          {"experiment": name, "text": outputs[name]})
+
+    for name in names:
         print(f"=== {name} " + "=" * (60 - len(name)))
-        print(EXPERIMENTS[name](args))
-        print(f"[{name} took {time.time() - t0:.1f}s]\n")
+        if name in failures:
+            print(f"[{name} FAILED]")
+            print(failures[name], file=sys.stderr)
+        else:
+            print(outputs[name])
+        print(f"[{name} took {time.time() - started[name]:.1f}s]\n")
+
+    if failures:
+        print(f"{len(failures)} experiment(s) failed: "
+              f"{', '.join(sorted(failures))}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,214 @@
+"""Hypothesis property tests for the Fig. 10 zero-detector block classes.
+
+Complements ``test_cs_zero_detect.py`` (example-based) with generated
+coverage of each Fig. 10 block class *by construction*: rather than
+sampling random windows and observing the classification, these
+strategies build blocks that belong to a class by definition and assert
+the classifier agrees -- plus the semantic soundness of the guarded skip
+rules (case (d), the overflow guards) against
+:func:`repro.cs.zero_detect.skip_preserves_value`, the ground truth the
+paper's local rules must never violate.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.cs import (BlockKind, CSNumber, classify_block,
+                      count_skippable_blocks, skip_preserves_value)
+from repro.cs.zero_detect import _skip_ok
+
+
+# ---------------------------------------------------------------------------
+# building CS numbers with prescribed digits
+
+
+def cs_from_digits(digits_msb_first: list[int],
+                   rng_bits: int = 0) -> CSNumber:
+    """A CSNumber whose digit sequence is exactly the given one.
+
+    A digit of 1 can live in either the sum or the carry word; the
+    ``rng_bits`` bitmask steers the choice so the property runs over
+    both encodings of the same digit string.
+    """
+    width = len(digits_msb_first)
+    s = c = 0
+    for i, d in enumerate(reversed(digits_msb_first)):
+        if d == 2:
+            s |= 1 << i
+            c |= 1 << i
+        elif d == 1:
+            if (rng_bits >> i) & 1:
+                c |= 1 << i
+            else:
+                s |= 1 << i
+    return CSNumber(s, c, width)
+
+
+def block_value(digits_msb_first: list[int]) -> int:
+    return sum(d << (len(digits_msb_first) - 1 - i)
+               for i, d in enumerate(digits_msb_first))
+
+
+# ---------------------------------------------------------------------------
+# class strategies (blocks that belong to a Fig. 10 class by construction)
+
+
+@st.composite
+def all_zero_blocks(draw):
+    n = draw(st.integers(2, 12))
+    return [0] * n
+
+
+@st.composite
+def all_ones_blocks(draw):
+    n = draw(st.integers(2, 12))
+    return [1] * n
+
+
+@st.composite
+def ripple_blocks(draw):
+    """``1...1 2 0...0`` with zero or more leading ones (Fig. 10 c)."""
+    n = draw(st.integers(2, 12))
+    ones = draw(st.integers(0, n - 1))
+    return [1] * ones + [2] + [0] * (n - ones - 1)
+
+
+@st.composite
+def arbitrary_blocks(draw):
+    n = draw(st.integers(2, 12))
+    return draw(st.lists(st.integers(0, 2), min_size=n, max_size=n))
+
+
+class TestBlockClassesByConstruction:
+    @given(all_zero_blocks())
+    def test_all_zero_is_zero_value(self, digits):
+        assert classify_block(digits) is BlockKind.ZERO_VALUE
+        assert block_value(digits) == 0
+
+    @given(all_ones_blocks())
+    def test_all_ones_is_sign_extension(self, digits):
+        assert classify_block(digits) is BlockKind.ALL_ONES
+
+    @given(ripple_blocks())
+    def test_ripple_is_zero_value(self, digits):
+        # the single 2 ripples the leading ones into exactly 2^len:
+        # numeric value 0 after the modular wrap
+        assert classify_block(digits) is BlockKind.ZERO_VALUE
+        assert block_value(digits) == 1 << len(digits)
+
+    @given(arbitrary_blocks())
+    def test_zero_value_classification_is_exactly_value_zero(self, digits):
+        """A block is ZERO_VALUE iff its numeric contribution wraps to
+        zero -- except the all-ones sign extension, reported as its own
+        class even when it happens to wrap (it never does alone)."""
+        kind = classify_block(digits)
+        wraps = block_value(digits) in (0, 1 << len(digits))
+        if kind is BlockKind.ZERO_VALUE:
+            assert wraps
+        elif kind is BlockKind.SIGNIFICANT:
+            # significant blocks may still wrap only via patterns the
+            # hardware detector does not match (e.g. 0 2 0...0); the
+            # Fig. 10 matcher is allowed to be conservative there, never
+            # the other way around
+            if wraps:
+                assert digits != [0] * len(digits)
+
+
+@st.composite
+def two_block_windows(draw, block_size: int = 5):
+    """A 2-block window with a prescribed leading-block class."""
+    top_kind = draw(st.sampled_from(["zero", "ones", "ripple"]))
+    if top_kind == "zero":
+        top = [0] * block_size
+    elif top_kind == "ones":
+        top = [1] * block_size
+    else:
+        ones = draw(st.integers(0, block_size - 1))
+        top = [1] * ones + [2] + [0] * (block_size - ones - 1)
+    bottom = draw(st.lists(st.integers(0, 2), min_size=block_size,
+                           max_size=block_size))
+    enc = draw(st.integers(0, (1 << (2 * block_size)) - 1))
+    return top, bottom, cs_from_digits(top + bottom, enc)
+
+
+class TestOverflowGuards:
+    """Fig. 10 (d) and the all-ones analogue: the *local* guard on the
+    next block's leading digits must imply the semantic skip criterion."""
+
+    @given(two_block_windows())
+    def test_guarded_skip_is_sound(self, window):
+        top, bottom, cs = window
+        kind = classify_block(top)
+        if _skip_ok(kind, bottom):
+            assert skip_preserves_value(cs, len(top), 1)
+
+    @given(two_block_windows())
+    def test_count_never_exceeds_semantics(self, window):
+        _, _, cs = window
+        bs = cs.width // 2
+        k = count_skippable_blocks(cs, bs)
+        assert skip_preserves_value(cs, bs, k)
+
+    @given(st.integers(1, 2), st.lists(st.integers(0, 2), min_size=3,
+                                       max_size=3))
+    def test_all_zero_block_with_hot_next_digits_is_refused(self, lead,
+                                                            rest):
+        """The paper's ``0000000|012`` overflow case, generalized: an
+        all-0 block whose successor starts with a nonzero digit must not
+        be skipped when that flips the sign."""
+        bottom = [0, lead] + rest[:1]
+        bs = len(bottom)
+        cs = cs_from_digits([0] * bs + bottom, 0)
+        # the local guard refuses (second digit nonzero)
+        assert not _skip_ok(BlockKind.ZERO_VALUE, bottom)
+        # and whenever the value's sign would flip, semantics refuse too
+        if not skip_preserves_value(cs, bs, 1):
+            assert count_skippable_blocks(cs, bs) == 0
+
+    @given(st.integers(2, 12))
+    def test_all_ones_guard_example(self, bs):
+        """The paper's ``1111111|111...`` example: an all-1 block over an
+        all-1 block is a redundant sign extension and must be skipped."""
+        cs = cs_from_digits([1] * (2 * bs), 0)
+        assert _skip_ok(BlockKind.ALL_ONES, [1] * bs)
+        assert count_skippable_blocks(cs, bs) == 1
+        assert skip_preserves_value(cs, bs, 1)
+
+
+class TestSkipAgainstKernelClosedForm:
+    """The conformance runner's closed-form ZD and the block-wise search
+    must agree on constructed (not just sampled) class patterns."""
+
+    @given(st.integers(2, 8), st.integers(2, 6), st.data())
+    def test_constructed_windows(self, block, nblocks, data):
+        kinds = data.draw(st.lists(
+            st.sampled_from(["zero", "ones", "ripple", "data"]),
+            min_size=nblocks, max_size=nblocks))
+        digits: list[int] = []
+        for kind in kinds:
+            if kind == "zero":
+                digits += [0] * block
+            elif kind == "ones":
+                digits += [1] * block
+            elif kind == "ripple":
+                ones = data.draw(st.integers(0, block - 1))
+                digits += [1] * ones + [2] + [0] * (block - ones - 1)
+            else:
+                digits += data.draw(st.lists(st.integers(0, 2),
+                                             min_size=block,
+                                             max_size=block))
+        enc = data.draw(st.integers(0, (1 << len(digits)) - 1))
+        cs = cs_from_digits(digits, enc)
+        width = cs.width
+        value = (cs.sum + cs.carry) & ((1 << width) - 1)
+        if value == 0:
+            return
+        max_skip = nblocks - 1
+        ref = count_skippable_blocks(cs, block, max_skip=max_skip)
+        if value >> (width - 1):
+            inv = (~value) & ((1 << width) - 1)
+            rsb = width if inv == 0 else width - inv.bit_length()
+        else:
+            rsb = width - value.bit_length()
+        assert max(0, min((rsb - 1) // block, max_skip)) == ref

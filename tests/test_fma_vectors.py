@@ -52,10 +52,15 @@ def case_ids() -> list[str]:
 
 class TestVectorFile:
     def test_coverage(self):
-        assert len(CASES) >= 200
+        assert len(CASES) >= 250
         categories = {c["category"] for c in CASES}
-        assert {"double-rounding", "cancellation",
-                "window-edge"} <= categories
+        assert {"double-rounding", "cancellation", "window-edge",
+                "subnormal-window-edge", "nan-propagation"} <= categories
+        # the extension categories carry real volume, not a token case
+        assert sum(c["category"] == "subnormal-window-edge"
+                   for c in CASES) >= 30
+        assert sum(c["category"] == "nan-propagation"
+                   for c in CASES) >= 15
         assert len({c["id"] for c in CASES}) == len(CASES)
         for c in CASES:
             assert set(c["expected"]) == set(UNIT_NAMES)

@@ -1,0 +1,183 @@
+"""Regenerate the edge-case extension of ``fma_hard_cases.json``.
+
+Appends two case categories to the golden-vector file (idempotently --
+existing extension cases are replaced, everything else is preserved):
+
+* ``subnormal-window-edge`` -- subnormal binary64 encodings (which the
+  FloPoCo-style loaders flush to signed zero) in every operand slot,
+  products straddling the flush-to-zero boundary, and addend/product
+  exponent gaps swept across the PCS/FCS alignment-window edges
+  (``addend_max_pos`` is 275 bits for PCS, 261 for FCS);
+* ``nan-propagation`` -- payload/sign NaN variants in every slot,
+  ``0 * inf`` and ``inf - inf`` invalid cases, signed-infinity and
+  signed-zero propagation.
+
+Expected outputs come from the *faithful scalar models* (the same
+oracle the conformance runner uses), lowered to binary64 hex.  Run from
+the repo root::
+
+    PYTHONPATH=src python tests/vectors/gen_edge_cases.py
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import struct
+from pathlib import Path
+
+from repro.fma import FcsFmaUnit, PcsFmaUnit, cs_to_ieee, ieee_to_cs
+from repro.fma.classic import ClassicFmaUnit
+from repro.fp import BINARY64, FPValue
+
+VECTORS = Path(__file__).parent / "fma_hard_cases.json"
+SEED = 20260806
+NEW_CATEGORIES = ("subnormal-window-edge", "nan-propagation")
+
+_EXPF = 0x7FF
+_FRACM = (1 << 52) - 1
+
+
+def bits(sign: int, be: int, frac: int) -> int:
+    return (sign << 63) | (be << 52) | frac
+
+
+def from_bits(word: int) -> FPValue:
+    x = struct.unpack("<d", struct.pack("<Q", word))[0]
+    return FPValue.from_float(x, BINARY64)
+
+
+def to_bits(v: FPValue) -> str:
+    return "0x%016x" % struct.unpack("<Q", struct.pack("<d",
+                                                       v.to_float()))[0]
+
+
+def expected(a: int, b: int, c: int) -> dict:
+    av, bv, cv = from_bits(a), from_bits(b), from_bits(c)
+    out = {"classic-fma": to_bits(ClassicFmaUnit(BINARY64).fma(av, bv, cv))}
+    for unit in (PcsFmaUnit(), FcsFmaUnit()):
+        r = unit.fma(ieee_to_cs(av, unit.params), bv,
+                     ieee_to_cs(cv, unit.params))
+        out[unit.name] = to_bits(cs_to_ieee(r))
+    return out
+
+
+def normal(rng: random.Random, lo: int, hi: int) -> int:
+    return bits(rng.getrandbits(1), rng.randint(lo + 1023, hi + 1023),
+                rng.getrandbits(52))
+
+
+def subnormal(rng: random.Random) -> int:
+    return bits(rng.getrandbits(1), 0, rng.randint(1, _FRACM))
+
+
+def gen_subnormal_window_edge(rng: random.Random) -> list[dict]:
+    cases = []
+
+    def add(note, a, b, c):
+        cases.append({"note": note, "a": a, "b": b, "c": c})
+
+    # subnormal encodings in each operand slot (flush-to-zero on load)
+    for i in range(6):
+        add("subnormal addend flushes; product survives",
+            subnormal(rng), normal(rng, -60, 60), normal(rng, -60, 60))
+    for i in range(6):
+        add("subnormal C operand: product term vanishes",
+            normal(rng, -60, 60), normal(rng, -60, 60), subnormal(rng))
+    for i in range(3):
+        add("subnormal B operand: product term vanishes",
+            normal(rng, -60, 60), subnormal(rng), normal(rng, -60, 60))
+
+    # products straddling the binary64 flush boundary (result subnormal
+    # in IEEE, flushed by the model)
+    for i in range(8):
+        e = rng.randint(-1074, -1010)
+        half = e // 2
+        ea = max(e - 2, -1022)
+        add("product near flush-to-zero boundary",
+            normal(rng, ea, ea + 4),
+            normal(rng, half - 1, half + 1),
+            normal(rng, e - half - 2, e - half + 1))
+
+    # addend/product gap swept across the alignment-window edges: the
+    # PCS addend pre-shift tops out at 275 positions, FCS at 261, and
+    # the product drops below the window past ~270 binades
+    for gap in (-340, -300, -277, -276, -275, -274, -262, -261, -260,
+                -220, 220, 260, 261, 262, 274, 275, 276, 300):
+        ae = rng.randint(-40, 40)
+        be = rng.randint(-30, 30)
+        ce = ae - gap - be  # product exponent = ae - gap
+        if not (-1021 <= ce <= 1022):
+            continue
+        add(f"addend {gap:+d} binades above product (window edge)",
+            normal(rng, ae, ae), normal(rng, be, be), normal(rng, ce, ce))
+    return cases
+
+
+def gen_nan_propagation(rng: random.Random) -> list[dict]:
+    cases = []
+    inf = bits(0, _EXPF, 0)
+    ninf = bits(1, _EXPF, 0)
+    pzero, nzero = 0, 1 << 63
+
+    def payload_nan():
+        return bits(rng.getrandbits(1), _EXPF, rng.randint(1, _FRACM))
+
+    def add(note, a, b, c):
+        cases.append({"note": note, "a": a, "b": b, "c": c})
+
+    for slot in range(3):
+        for _ in range(3):
+            ops = [normal(rng, -20, 20) for _ in range(3)]
+            ops[slot] = payload_nan()
+            add(f"payload NaN in operand {'abc'[slot]} canonicalizes",
+                *ops)
+    add("0 * inf is invalid", normal(rng, -5, 5), pzero, inf)
+    add("inf * 0 is invalid", normal(rng, -5, 5), ninf, nzero)
+    add("-0 * -inf is invalid", normal(rng, -5, 5), nzero, ninf)
+    add("inf + (-inf product) is invalid", inf, normal(rng, -5, 5),
+        bits(1, 1023 + 4, rng.getrandbits(52)))
+    add("-inf + (+inf product) is invalid", ninf,
+        bits(0, 1023 + 3, 0), bits(0, 1023 + 5, rng.getrandbits(52)))
+    add("inf addend dominates finite product", inf,
+        normal(rng, -5, 5), normal(rng, -5, 5))
+    add("-inf addend dominates finite product", ninf,
+        normal(rng, -5, 5), normal(rng, -5, 5))
+    add("negative product overflows to -inf", pzero,
+        bits(0, 1023 + 600, 0), bits(1, 1023 + 600, _FRACM))
+    add("-0 + (+0 * x) keeps the addend's zero sign", nzero, pzero,
+        normal(rng, -5, 5))
+    add("-0 + (x * -0) keeps the addend's zero sign", nzero,
+        normal(rng, -5, 5), nzero)
+    add("+0 + (-0 * x): differing zero signs round to +0", pzero, nzero,
+        normal(rng, -5, 5))
+    return cases
+
+
+def main() -> None:
+    doc = json.loads(VECTORS.read_text())
+    doc["cases"] = [c for c in doc["cases"]
+                    if c["category"] not in NEW_CATEGORIES]
+    rng = random.Random(SEED)
+    new = []
+    for category, gen in (("subnormal-window-edge",
+                           gen_subnormal_window_edge),
+                          ("nan-propagation", gen_nan_propagation)):
+        for i, case in enumerate(gen(rng)):
+            new.append({
+                "id": f"{category}-{i:03d}",
+                "category": category,
+                "note": case["note"],
+                "a": "0x%016x" % case["a"],
+                "b": "0x%016x" % case["b"],
+                "c": "0x%016x" % case["c"],
+                "expected": expected(case["a"], case["b"], case["c"]),
+            })
+    doc["cases"].extend(new)
+    VECTORS.write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"wrote {len(new)} extension cases "
+          f"({len(doc['cases'])} total) to {VECTORS}")
+
+
+if __name__ == "__main__":
+    main()
