@@ -1,0 +1,120 @@
+"""CLI driver: ``python -m repro.analysis``.
+
+Modes
+-----
+* ``--all`` (default): analyze every shipped target -- example and
+  experiment-built CDFGs (as parsed and after the FMA-insertion pass,
+  with their schedules), every hardware netlist, and the operator
+  libraries.  Exits non-zero when any diagnostic at or above
+  ``--fail-on`` severity is found: shipped artifacts must be clean.
+* ``--target NAME`` (repeatable): analyze a subset.
+* ``--selfcheck``: run the seeded-violation detection suite; every
+  corruption must yield exactly its expected rule ids.
+* ``--list-rules`` / ``--list-targets``: registry introspection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..hw.technology import VIRTEX5, VIRTEX6, VIRTEX7
+from .diagnostics import Severity
+from .reporters import render_json, render_rules, render_text
+from .targets import analyze_all, target_names
+from .violations import run_detection_suite
+
+_DEVICES = {"virtex5": VIRTEX5, "virtex6": VIRTEX6, "virtex7": VIRTEX7}
+
+
+def _run_selfcheck(device, fmt: str) -> int:
+    results = run_detection_suite(device)
+    missed = [r for r in results if not r.detected]
+    if fmt == "json":
+        import json
+
+        print(json.dumps({
+            "violations": [{
+                "name": r.name,
+                "expected": sorted(r.expected),
+                "found": sorted(r.found),
+                "detected": r.detected,
+            } for r in results],
+            "ok": not missed,
+        }, indent=2, sort_keys=True))
+    else:
+        for r in results:
+            verdict = "detected" if r.detected else "MISSED"
+            print(f"{r.name:28s} expected {sorted(r.expected)} "
+                  f"found {sorted(r.found)}: {verdict}")
+        print(f"{len(results) - len(missed)}/{len(results)} seeded "
+              "violations detected with exact rule ids")
+    return 1 if missed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static datapath verifier: CS format-flow, netlist "
+                    "consistency and schedule validity analysis.")
+    parser.add_argument("--all", action="store_true",
+                        help="analyze every shipped target (default "
+                             "when no target is named)")
+    parser.add_argument("--target", action="append", default=[],
+                        metavar="NAME",
+                        help="analyze one named target (repeatable)")
+    parser.add_argument("--selfcheck", action="store_true",
+                        help="run the seeded-violation detection suite")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--list-targets", action="store_true",
+                        help="print the analyzable targets and exit")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="fmt")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the report to FILE instead of "
+                             "stdout")
+    parser.add_argument("--device", choices=sorted(_DEVICES),
+                        default="virtex6")
+    parser.add_argument("--fail-on",
+                        choices=("error", "warning", "never"),
+                        default="warning",
+                        help="lowest severity that fails the run "
+                             "(default: warning -- shipped artifacts "
+                             "must be clean)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also list clean targets in text output")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    if args.list_targets:
+        print("\n".join(target_names()))
+        return 0
+    device = _DEVICES[args.device]
+    if args.selfcheck:
+        return _run_selfcheck(device, args.fmt)
+
+    names = args.target or None
+    try:
+        reports = analyze_all(device, names)
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+    text = (render_json(reports) if args.fmt == "json"
+            else render_text(reports, verbose=args.verbose))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+
+    if args.fail_on == "never":
+        return 0
+    threshold = (Severity.ERROR if args.fail_on == "error"
+                 else Severity.WARNING)
+    return 1 if any(r.worst_at_least(threshold) for r in reports) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Text and JSON rendering of analysis reports."""
+
+from __future__ import annotations
+
+import json
+
+from .diagnostics import Report, rules_by_family
+
+__all__ = ["render_text", "render_json", "render_rules"]
+
+
+def render_text(reports: list[Report], verbose: bool = False) -> str:
+    """Human-readable summary: one line per diagnostic, grouped per
+    analyzed target, then a one-line verdict."""
+    lines: list[str] = []
+    errors = warnings = 0
+    for rep in reports:
+        if rep.clean:
+            if verbose:
+                lines.append(f"{rep.target or '<unnamed>'}: clean")
+            continue
+        lines.append(f"{rep.target or '<unnamed>'}:")
+        for diag in rep.diagnostics:
+            lines.append(f"  {diag.format()}")
+        errors += len(rep.errors)
+        warnings += len(rep.warnings)
+    total = sum(len(r) for r in reports)
+    lines.append(
+        f"{len(reports)} target(s) analyzed: {errors} error(s), "
+        f"{warnings} warning(s), {total} diagnostic(s)")
+    return "\n".join(lines)
+
+
+def render_json(reports: list[Report]) -> str:
+    """Machine-readable report for the CI gate."""
+    payload = {
+        "targets": [r.to_dict() for r in reports],
+        "summary": {
+            "targets": len(reports),
+            "errors": sum(len(r.errors) for r in reports),
+            "warnings": sum(len(r.warnings) for r in reports),
+            "diagnostics": sum(len(r) for r in reports),
+            "ok": all(r.ok for r in reports),
+            "clean": all(r.clean for r in reports),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rules() -> str:
+    """The rule catalogue (``--list-rules``)."""
+    lines: list[str] = []
+    for family, rules in sorted(rules_by_family().items()):
+        lines.append(f"{family} rules:")
+        for rule in sorted(rules, key=lambda r: r.id):
+            lines.append(f"  {rule.id} [{rule.severity.value:7s}] "
+                         f"{rule.title}")
+    return "\n".join(lines)

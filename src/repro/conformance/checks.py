@@ -22,7 +22,6 @@ import traceback
 
 from ..batch import fma_batch, fp_fma_fast, kernel_for
 from ..batch.api import dot_batch
-from ..fma.classic import ClassicFmaUnit
 from ..fma.convert import cs_to_ieee, ieee_to_cs
 from ..fma.csfma import CSFmaUnit, FcsFmaUnit, PcsFmaUnit
 from ..fma.dotprod import FusedDotProductUnit

@@ -136,7 +136,8 @@ def shard_rng(seed: int, shard_id: int) -> random.Random:
 
 
 def _bits(sign: int, biased_exp: int, frac: int) -> int:
-    return (sign << 63) | ((biased_exp & _EXP_BITS) << 52) | (frac & _FRAC_MASK)
+    return ((sign << 63) | ((biased_exp & _EXP_BITS) << 52)
+            | (frac & _FRAC_MASK))
 
 
 def _draw_normal(rng: random.Random, lo_exp: int, hi_exp: int) -> int:

@@ -9,10 +9,10 @@ rounding (:mod:`~repro.cs.multiplier`), leading-zero anticipation
 (:mod:`~repro.cs.zero_detect`).
 """
 
-from .booth import (BoothComparison, booth_digits, booth_multiply,
-                    booth_row_count, compare_tree_heights)
 from .adders import (carry_reduce, chunked_add, cs_to_binary, cs_to_signed,
                      pre_adder_combine)
+from .booth import (BoothComparison, booth_digits, booth_multiply,
+                    booth_row_count, compare_tree_heights)
 from .csa import CSAReduction, csa3, csa4, csa_tree_depth, reduce_rows
 from .csnumber import FULL_CARRY, NO_CARRY, CSNumber, pcs_carry_mask
 from .lza import count_leading_zeros, leading_sign_bits, lza_estimate

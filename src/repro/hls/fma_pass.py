@@ -26,7 +26,27 @@ from .ir import CDFG, OpKind
 from .operators import OperatorLibrary
 from .schedule import asap_schedule
 
-__all__ = ["FmaPassReport", "run_fma_insertion"]
+__all__ = ["FmaPassReport", "FmaPassVerificationError",
+           "run_fma_insertion"]
+
+
+class FmaPassVerificationError(RuntimeError):
+    """The pass emitted a graph that fails the CS format-flow check.
+
+    The Fig. 12 invariant -- carry-save values only between fused
+    operators, reconverted before any ordinary operator or output --
+    is re-proved after every run by the static verifier
+    (:mod:`repro.analysis.format_flow`).  A failure here means the
+    pass itself is buggy; the offending diagnostics ride along in
+    :attr:`report`.
+    """
+
+    def __init__(self, report) -> None:
+        lines = [d.format() for d in report.diagnostics]
+        super().__init__(
+            "FMA-insertion pass produced a malformed graph:\n  "
+            + "\n  ".join(lines))
+        self.report = report
 
 
 @dataclass
@@ -49,10 +69,12 @@ class FmaPassReport:
 
 
 def _find_critical_pairs(graph: CDFG, slack: dict[int, int],
+                         slack_threshold: int = 0,
                          ) -> list[tuple[int, int, int]]:
     """(add_id, mul_id, mul_port) for critical multiply->add/sub pairs.
 
-    The add/sub must lie on the critical path (zero slack); the
+    The add/sub must lie on the critical path (slack at most
+    ``slack_threshold``; the paper's Fig. 12 criterion is 0); the
     multiplier only needs to feed the add exclusively -- fusing helps
     even when the product itself has timing slack, because the fused
     unit removes the adder (and its conversions) from the chain.  When
@@ -63,7 +85,8 @@ def _find_critical_pairs(graph: CDFG, slack: dict[int, int],
     taken: set[int] = set()
     for nid in graph.topological_order():
         node = graph.nodes[nid]
-        if node.kind not in (OpKind.ADD, OpKind.SUB) or slack[nid] != 0:
+        if node.kind not in (OpKind.ADD, OpKind.SUB) or \
+                slack[nid] > slack_threshold:
             continue
         candidates = []
         for port, op in enumerate(node.operands):
@@ -166,15 +189,24 @@ def _remove_redundant_converters(graph: CDFG) -> int:
 
 
 def run_fma_insertion(graph: CDFG, library: OperatorLibrary,
-                      max_rounds: int = 64) -> FmaPassReport:
-    """Run the Fig. 12 pass to fixpoint on ``graph`` (in place)."""
+                      max_rounds: int = 64,
+                      slack_threshold: int = 0) -> FmaPassReport:
+    """Run the Fig. 12 pass to fixpoint on ``graph`` (in place).
+
+    ``slack_threshold`` widens the fusion criterion: pairs whose
+    add/sub has at most that much timing slack are fused (0 = the
+    paper's strictly-critical-path rule).  After the fixpoint the
+    emitted graph is re-proved against the CS format-flow invariant;
+    a violation raises :class:`FmaPassVerificationError` -- the pass
+    never hands a malformed datapath to the scheduler or simulator.
+    """
     report = FmaPassReport(
         baseline_length=asap_schedule(graph, library).length,
         final_length=0,
     )
     for _ in range(max_rounds):
         slack = node_slack(graph, library)
-        pairs = _find_critical_pairs(graph, slack)
+        pairs = _find_critical_pairs(graph, slack, slack_threshold)
         if not pairs:
             break
         report.iterations += 1
@@ -199,6 +231,13 @@ def run_fma_insertion(graph: CDFG, library: OperatorLibrary,
         graph.prune_dead()
         if inserted == 0:  # pragma: no cover - defensive
             break
-    graph.validate()
+    # mandatory post-pass self-check: prove the Fig. 12 invariant on
+    # the graph we are about to hand to the scheduler (imported lazily;
+    # repro.analysis depends on this package)
+    from ..analysis.format_flow import verify_format_flow
+
+    verification = verify_format_flow(graph, target="fma-pass")
+    if not verification.ok:
+        raise FmaPassVerificationError(verification)
     report.final_length = asap_schedule(graph, library).length
     return report

@@ -19,7 +19,17 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-__all__ = ["OpKind", "ValueType", "Node", "CDFG"]
+__all__ = ["OpKind", "ValueType", "Node", "CDFG", "PortTypeError"]
+
+
+class PortTypeError(TypeError):
+    """An operand edge carries the wrong value format.
+
+    Raised at node-construction time: wiring an IEEE value into a
+    carry-save port (or vice versa) is the exact malformation the
+    Fig. 12 invariant forbids, so it fails fast instead of producing a
+    graph that silently computes garbage.
+    """
 
 
 class ValueType(enum.Enum):
@@ -103,9 +113,31 @@ class CDFG:
 
     def _new(self, kind: OpKind, operands: list[int], name: str = "",
              value: float | None = None, negate_b: bool = False) -> int:
+        """Create a node, validating operands against ``_PORT_TYPES``.
+
+        Construction is the single choke point for well-typed graphs:
+        even callers that bypass :meth:`add_op` cannot create a node
+        whose ports read the wrong value format.  (Post-construction
+        mutation -- ``rewire`` and friends -- is deliberately
+        unchecked; the static verifier in :mod:`repro.analysis` covers
+        that.)
+        """
         for op in operands:
             if op not in self.nodes:
                 raise KeyError(f"operand {op} not in graph")
+        ports = _PORT_TYPES.get(kind, ())
+        if kind not in (OpKind.INPUT, OpKind.CONST) and \
+                len(operands) != len(ports):
+            raise ValueError(
+                f"{kind.value} takes {len(ports)} operands, "
+                f"got {len(operands)}")
+        for op, want in zip(operands, ports):
+            got = self.nodes[op].result_type
+            if got is not want:
+                raise PortTypeError(
+                    f"{kind.value} port expects {want.value}, operand "
+                    f"{op} ({self.nodes[op].kind.value}) produces "
+                    f"{got.value}")
         nid = self._next_id
         self._next_id += 1
         self.nodes[nid] = Node(nid, kind, list(operands), name, value,
@@ -122,18 +154,6 @@ class CDFG:
                negate_b: bool = False) -> int:
         if kind in (OpKind.INPUT, OpKind.CONST):
             raise ValueError("use add_input/add_const")
-        ports = _PORT_TYPES[kind]
-        if len(operands) != len(ports):
-            raise ValueError(
-                f"{kind.value} takes {len(ports)} operands, "
-                f"got {len(operands)}")
-        for op, want in zip(operands, ports):
-            got = self.nodes[op].result_type
-            if got is not want:
-                raise TypeError(
-                    f"{kind.value} port expects {want.value}, operand "
-                    f"{op} ({self.nodes[op].kind.value}) produces "
-                    f"{got.value}")
         return self._new(kind, list(operands), name, negate_b=negate_b)
 
     def add_output(self, operand: int, name: str) -> int:
@@ -193,7 +213,7 @@ class CDFG:
             for op, want in zip(n.operands, ports):
                 got = self.nodes[op].result_type
                 if got is not want:
-                    raise TypeError(
+                    raise PortTypeError(
                         f"node {n.id} ({n.kind.value}): port type "
                         f"mismatch ({got.value} into {want.value})")
 

@@ -13,10 +13,10 @@ from .codegen import (FactorKernel, SolverKernel, generate_factor_kernel,
                       generate_kernel, generate_ldlfactor_source,
                       generate_ldlsolve_source)
 from .ipm import IPMResult, InteriorPointSolver, KernelBackend
-from .mpc import MPCController, MPCStep, simulate_closed_loop
 from .kkt import assemble_kkt, kkt_dimension, kkt_sparsity
 from .ldl import (SymbolicLDL, ldl_solve, ldl_solve_dense, min_degree_order,
                   numeric_ldl, symbolic_ldl)
+from .mpc import MPCController, MPCStep, simulate_closed_loop
 from .qp import BENCHMARK_SIZES, QPProblem, trajectory_problem
 
 __all__ = [

@@ -21,9 +21,8 @@ from typing import Callable
 import numpy as np
 
 from .codegen import SolverKernel, generate_kernel
-from .kkt import assemble_kkt
+from .kkt import assemble_kkt, kkt_sparsity
 from .ldl import SymbolicLDL, ldl_solve, numeric_ldl, symbolic_ldl
-from .kkt import kkt_sparsity
 from .qp import QPProblem
 
 __all__ = ["IPMResult", "InteriorPointSolver", "KernelBackend"]

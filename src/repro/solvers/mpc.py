@@ -16,8 +16,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .ipm import InteriorPointSolver, KernelBackend
 from .codegen import generate_kernel
+from .ipm import InteriorPointSolver, KernelBackend
 from .qp import QPProblem, trajectory_problem
 
 __all__ = ["MPCController", "MPCStep", "simulate_closed_loop"]

@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro.analysis`` CLI driver."""
+
+import json
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+
+class TestIntrospection:
+    def test_list_rules_prints_catalogue(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("CS001", "CS005", "NL001", "NL008", "SCH001"):
+            assert rule_id in out
+
+    def test_list_targets(self, capsys):
+        assert main(["--list-targets"]) == 0
+        out = capsys.readouterr().out
+        assert "listing1" in out
+        assert "netlist:pcs-fma" in out
+        assert "library:fcs" in out
+
+
+class TestAnalysis:
+    def test_single_target_text(self, capsys):
+        assert main(["--target", "listing1"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_all_json_is_clean(self, capsys):
+        assert main(["--all", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["ok"]
+        assert payload["summary"]["clean"]
+        assert payload["summary"]["diagnostics"] == 0
+        assert payload["summary"]["targets"] >= 40
+
+    def test_output_file(self, tmp_path, capsys):
+        dest = tmp_path / "report.json"
+        rc = main(["--target", "netlist:pcs-fma", "--format", "json",
+                   "--output", str(dest)])
+        capsys.readouterr()
+        assert rc == 0
+        payload = json.loads(dest.read_text())
+        assert payload["summary"]["clean"]
+
+    def test_unknown_target_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--target", "no-such-kernel"])
+        assert "unknown target" in capsys.readouterr().err
+
+    def test_selfcheck_passes(self, capsys):
+        assert main(["--selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "MISSED" not in out
+
+    def test_selfcheck_json(self, capsys):
+        assert main(["--selfcheck", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"]
+        assert len(payload["violations"]) >= 6
+        by_name = {v["name"]: v for v in payload["violations"]}
+        assert by_name["swapped-fma-ports"]["found"] == \
+            ["CS003", "CS004"]

@@ -1,0 +1,109 @@
+"""Tests for the netlist consistency lint (repro.analysis.netlist_lint)."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.analysis import lint_design, lint_library, netlist_targets
+from repro.fma.formats import FCS_PARAMS, PCS_PARAMS
+from repro.hls import default_library
+from repro.hw.components import Component, make_mux
+from repro.hw.netlist import (design_by_name, fcs_fma_design,
+                              pcs_fma_design)
+from repro.hw.technology import VIRTEX6
+
+
+class TestCleanDesigns:
+    @pytest.mark.parametrize("name", netlist_targets())
+    def test_shipped_designs_lint_clean(self, name):
+        report = lint_design(design_by_name(name, VIRTEX6), VIRTEX6)
+        assert report.clean, [d.format() for d in report.diagnostics]
+
+    @pytest.mark.parametrize("flavor", ["pcs", "fcs"])
+    def test_operator_library_latencies_match_hardware(self, flavor):
+        report = lint_library(default_library(fma_flavor=flavor))
+        assert report.clean, [d.format() for d in report.diagnostics]
+
+
+def _replace_component(design, name, new):
+    path = [new if c.name == name else c for c in design.path]
+    return dataclasses.replace(design, path=path)
+
+
+class TestGeometryRules:
+    def test_nl001_missing_window_stage(self):
+        design = pcs_fma_design(VIRTEX6)
+        path = [c for c in design.path if c.name != "window-3to2"]
+        report = lint_design(dataclasses.replace(design, path=path))
+        assert "NL001" in report.rule_ids()
+
+    def test_nl002_fcs_must_not_have_zd_on_path(self):
+        fcs = fcs_fma_design(VIRTEX6)
+        pcs = pcs_fma_design(VIRTEX6)
+        zd = next(c for c in pcs.path if c.name.startswith("zd"))
+        corrupted = dataclasses.replace(fcs, path=fcs.path + [zd])
+        assert "NL002" in lint_design(corrupted).rule_ids()
+
+    def test_nl003_carry_reduce_width(self):
+        design = pcs_fma_design(VIRTEX6)
+        cr = next(c for c in design.path if c.name == "carry-reduce")
+        corrupted = _replace_component(
+            design, "carry-reduce", dataclasses.replace(cr, luts=29))
+        assert lint_design(corrupted).rule_ids() == {"NL003"}
+
+    def test_nl004_result_mux_positions(self):
+        design = pcs_fma_design(VIRTEX6)
+        result_w = PCS_PARAMS.mant_width + PCS_PARAMS.block
+        wrong = make_mux(11, result_w, VIRTEX6, "result-mux")
+        corrupted = _replace_component(design, "result-mux", wrong)
+        assert lint_design(corrupted).rule_ids() == {"NL004"}
+
+    def test_nl005_preshift_window(self):
+        design = fcs_fma_design(VIRTEX6)
+        pre = next(c for c in design.offpath
+                   if c.name == "a-preshift")
+        offpath = [dataclasses.replace(c, luts=c.luts // 2)
+                   if c.name == "a-preshift" else c
+                   for c in design.offpath]
+        corrupted = dataclasses.replace(design, offpath=offpath)
+        assert pre.luts > 0
+        assert lint_design(corrupted).rule_ids() == {"NL005"}
+
+    def test_nl006_window_wires(self):
+        design = pcs_fma_design(VIRTEX6)
+        corrupted = dataclasses.replace(design, window_wires=42)
+        assert lint_design(corrupted).rule_ids() == {"NL006"}
+
+    def test_nl007_implausible_cost(self):
+        design = pcs_fma_design(VIRTEX6)
+        bad = Component("window-3to2", math.nan,
+                        PCS_PARAMS.window_width)
+        corrupted = _replace_component(design, "window-3to2", bad)
+        assert "NL007" in lint_design(corrupted).rule_ids()
+
+    def test_nl007_empty_path(self):
+        empty = dataclasses.replace(pcs_fma_design(VIRTEX6), path=[],
+                                    window_wires=420)
+        ids = lint_design(empty).rule_ids()
+        assert "NL007" in ids
+
+    def test_nl008_latency_drift_in_any_operator(self):
+        library = default_library(fma_flavor="fcs")
+        spec = library.specs["add"]
+        library.specs["add"] = dataclasses.replace(
+            spec, latency=spec.latency + 1)
+        report = lint_library(library)
+        assert report.rule_ids() == {"NL008"}
+        assert any("'add'" in d.location for d in report.diagnostics)
+
+    def test_window_constants_match_paper(self):
+        # the constants the lint checks against are the paper's:
+        # 110b/11b-chunk PCS over a 385b window, 87c/29c-block FCS
+        # over a 377c window, 13-block alignment
+        assert PCS_PARAMS.window_width == 385
+        assert PCS_PARAMS.mant_width == 110
+        assert PCS_PARAMS.carry_spacing == 11
+        assert FCS_PARAMS.window_width == 377
+        assert FCS_PARAMS.mant_width == 87
+        assert FCS_PARAMS.window_blocks == 13

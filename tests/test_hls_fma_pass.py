@@ -135,6 +135,34 @@ class TestGraphHygiene:
         assert sum(rep.fma_per_round) == rep.fma_inserted
         assert 0 <= rep.reduction_percent <= 100
 
+    def test_self_check_catches_corrupted_output(self, monkeypatch):
+        # sabotage the cleanup step so the pass emits a CS value
+        # straight into an OUTPUT; the mandatory post-pass verifier
+        # must refuse to hand the graph back
+        from repro.analysis import Report
+        from repro.hls import FmaPassVerificationError
+        from repro.hls import fma_pass as fp
+
+        real_cleanup = fp._remove_redundant_converters
+
+        def sabotage(graph):
+            removed = real_cleanup(graph)
+            for out in graph.outputs():
+                node = graph.nodes[out]
+                src = graph.nodes[node.operands[0]]
+                if src.kind is OpKind.C2I:
+                    node.operands[0] = src.operands[0]
+            return removed
+
+        monkeypatch.setattr(fp, "_remove_redundant_converters",
+                            sabotage)
+        g = fresh()
+        with pytest.raises(FmaPassVerificationError) as exc:
+            run_fma_insertion(g, default_library(fma_flavor="fcs"))
+        assert isinstance(exc.value.report, Report)
+        assert "CS005" in exc.value.report.rule_ids()
+        assert "CS005" in str(exc.value)
+
 
 class TestLdlsolveShape:
     """Integration with the solver codegen (a mini Fig. 15)."""

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hls import CDFG, OpKind, ValueType
+from repro.hls import CDFG, OpKind, PortTypeError, ValueType
 
 
 def small_graph():
@@ -74,6 +74,27 @@ class TestTypeChecking:
         cs = g.add_op(OpKind.I2C, a)
         back = g.add_op(OpKind.C2I, cs)
         assert g.nodes[back].result_type is ValueType.IEEE
+
+    def test_port_mismatch_raises_typed_error(self):
+        # the typed error is a TypeError subclass, so old handlers
+        # keep working while new code can catch it precisely
+        g = CDFG()
+        a = g.add_input("a")
+        with pytest.raises(PortTypeError):
+            g.add_op(OpKind.C2I, a)
+        assert issubclass(PortTypeError, TypeError)
+
+    def test_construction_choke_point_validates(self):
+        # even bypassing add_op, _new itself rejects ill-typed ports
+        g = CDFG()
+        a = g.add_input("a")
+        cs = g.add_op(OpKind.I2C, a)
+        with pytest.raises(PortTypeError):
+            g._new(OpKind.OUTPUT, [cs], "y")
+        with pytest.raises(ValueError):
+            g._new(OpKind.FMA, [cs])        # arity checked too
+        with pytest.raises(KeyError):
+            g._new(OpKind.NEG, [12345])
 
 
 class TestStructure:
