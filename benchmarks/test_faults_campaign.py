@@ -1,0 +1,69 @@
+"""Fault-campaign throughput gates: injections/sec, serial vs parallel.
+
+Two claims on the real campaign engine:
+
+* the serial engine sustains a healthy injection rate (golden results
+  are memoized per operand, so an injection costs roughly one faulted
+  FMA evaluation plus classification);
+* the parallel path through the resilient executor completes the same
+  campaign with the identical report (minus the resilience summary)
+  and without pathological overhead -- resilience must not cost more
+  than the pool it wraps.
+
+The equivalence gate runs even under ``--benchmark-disable`` (CI smoke
+mode); it times with ``perf_counter`` directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.faults.campaign import CampaignConfig, run_campaign
+
+SEED = 20260806
+MIN_INJECTIONS_PER_S = 200.0
+MAX_PARALLEL_SLOWDOWN = 5.0
+
+
+class TestSerialThroughput:
+    def test_injection_rate(self, benchmark):
+        config = CampaignConfig(seed=SEED, injections=400)
+        report = benchmark(run_campaign, config)
+        assert report["totals"]["injections"] == 400
+
+    def test_injections_per_second_floor(self):
+        config = CampaignConfig(seed=SEED, injections=500)
+        run_campaign(config)  # warm the operand pools / golden memos
+        t0 = time.perf_counter()
+        report = run_campaign(config)
+        elapsed = time.perf_counter() - t0
+        rate = report["totals"]["injections"] / elapsed
+        assert rate > MIN_INJECTIONS_PER_S, f"{rate:.0f} inj/s"
+
+
+class TestParallelCampaign:
+    def test_parallel_equals_serial_without_blowup(self):
+        config = CampaignConfig(seed=SEED, injections=400)
+        t0 = time.perf_counter()
+        serial = run_campaign(config)
+        serial_s = time.perf_counter() - t0
+
+        workers = min(4, os.cpu_count() or 1)
+        if workers < 2:
+            pytest.skip("needs >= 2 cores")
+        t0 = time.perf_counter()
+        par = run_campaign(config, workers=workers, chunk=50)
+        par_s = time.perf_counter() - t0
+
+        res = par.pop("resilience")
+        assert res["failed"] == []
+        assert json.dumps(par, sort_keys=True) == \
+            json.dumps(serial, sort_keys=True)
+        # worker startup dominates at this campaign size; the gate only
+        # forbids pathological resilience overhead
+        assert par_s < serial_s * MAX_PARALLEL_SLOWDOWN + 10.0, (
+            f"parallel {par_s:.2f}s vs serial {serial_s:.2f}s")

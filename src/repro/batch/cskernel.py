@@ -36,6 +36,7 @@ operand is ``(cls, sign, unbiased_exp, significand)``.
 
 from __future__ import annotations
 
+from .. import probes
 from ..fma.csfma import CSFmaUnit
 from ..fma.formats import CSFloat, CSFmaParams
 from ..fp.formats import BINARY64
@@ -164,8 +165,13 @@ class FastCSKernel:
         R = len(pos)
         if cv >= 0 and cv.bit_length() + pos[-1] + tree_depth(R) <= width:
             s, c = tree_fn(R, False)(cv, mask, pos)
-            return s & mask, c & mask
-        return tree_fn(R, True)(cv & mask, mask, pos)
+            s, c = s & mask, c & mask
+        else:
+            s, c = tree_fn(R, True)(cv & mask, mask, pos)
+        if probes.ARMED is not None:
+            # fault-injection probe: the compiled-tree product rows
+            s, c = probes.probe("batch.product", (s, c))
+        return s, c
 
     # -- the datapath ----------------------------------------------------
 
@@ -298,6 +304,12 @@ class FastCSKernel:
             axb = A ^ B
             w_sum = (z & notH) | ((z ^ axb) & H)
             w_carry = ((((A & B) | (axb & z)) & H) << 1) & wmask
+
+        if probes.ARMED is not None:
+            # fault-injection probe: the window planes (post-SWAR Carry
+            # Reduce for PCS, raw 3:2 output for FCS)
+            w_sum, w_carry = probes.probe("batch.window",
+                                          (w_sum, w_carry))
 
         value = (w_sum + w_carry) & wmask
         if value == 0:

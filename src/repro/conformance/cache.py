@@ -14,14 +14,20 @@ mode a conformance cache must never have).
 
 Entries are one JSON file per key, written atomically (tmp + rename) so
 concurrent sweeps sharing a cache directory never observe torn entries.
-Mutation shards are never cached -- the injected fault is process-local
-state that the fingerprint cannot see.
+Each entry wraps its payload with a SHA-256 checksum; an entry that is
+truncated, unparsable, or fails the checksum (a torn write that slipped
+past the rename, bit rot, a crashed writer from an older version) is
+*quarantined* -- moved into a ``quarantine/`` subdirectory for post
+mortem instead of being trusted or silently deleted.  Mutation shards
+are never cached -- the injected fault is process-local state that the
+fingerprint cannot see.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -30,6 +36,8 @@ from .workunits import ShardSpec, golden_vector_path
 
 __all__ = ["code_fingerprint", "shard_key", "ResultCache",
            "default_cache_dir"]
+
+log = logging.getLogger(__name__)
 
 _fingerprint_memo: dict[str, str] = {}
 
@@ -81,31 +89,73 @@ def shard_key(spec: ShardSpec, fingerprint: str | None = None,
     return h.hexdigest()
 
 
+def _payload_checksum(payload: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
 class ResultCache:
-    """On-disk shard-result store, one JSON file per content key."""
+    """On-disk shard-result store, one checksummed JSON file per key."""
 
     def __init__(self, root: Path | str):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: entries moved aside by :meth:`get` because they failed
+        #: integrity checks (inspectable, never silently deleted)
+        self.quarantine_dir = self.root / "quarantine"
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        dest = self.quarantine_dir / path.name
+        try:
+            os.replace(path, dest)
+        except OSError:
+            return  # a concurrent reader already moved it
+        log.warning("quarantined corrupt cache entry %s (%s) -> %s",
+                    path.name, reason, dest)
+
     def get(self, key: str) -> dict | None:
+        """The cached payload, or ``None``.
+
+        A present-but-corrupt entry (unparsable JSON, missing envelope
+        fields, checksum mismatch) is moved to ``quarantine/`` and
+        treated as a miss -- the shard simply recomputes.
+        """
         path = self._path(key)
         try:
-            return json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
             return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            self._quarantine(path, "unreadable")
+            return None
+        if (not isinstance(entry, dict) or "payload" not in entry
+                or "checksum" not in entry):
+            self._quarantine(path, "missing envelope")
+            return None
+        payload = entry["payload"]
+        if _payload_checksum(payload) != entry["checksum"]:
+            self._quarantine(path, "checksum mismatch")
+            return None
+        return payload
 
     def put(self, key: str, result: dict) -> None:
-        payload = json.dumps(result, sort_keys=True, indent=1)
+        entry = {"checksum": _payload_checksum(result), "payload": result}
+        payload = json.dumps(entry, sort_keys=True, indent=1)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as f:
                 f.write(payload)
             os.replace(tmp, self._path(key))
-        except BaseException:
+        except (KeyboardInterrupt, SystemExit):
+            # interruption must win; leave the tmp file for inspection
+            log.warning("cache write interrupted; tmp file left at %s", tmp)
+            raise
+        except (OSError, ValueError, TypeError) as exc:
+            log.warning("discarding failed cache write %s: %s", tmp, exc)
             try:
                 os.unlink(tmp)
             except OSError:

@@ -24,8 +24,8 @@ import json
 import os
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
 
+from ..faults.resilient import RetryPolicy, run_resilient
 from . import mutation as mutation_mod
 from .cache import ResultCache, code_fingerprint, default_cache_dir, shard_key
 from .checks import check_case
@@ -121,12 +121,36 @@ def _shard_entry(spec_dict: dict) -> dict:
 # the sweep
 
 
+def _failed_shard_record(spec: ShardSpec, wr) -> dict:
+    """Structured stand-in for a shard whose worker died / hung / raised
+    past all recovery attempts -- the sweep degrades instead of hanging
+    on ``future.result()`` or losing the shard silently."""
+    return {
+        "shard_id": spec.shard_id,
+        "seed": spec.seed,
+        "spec": spec.to_dict(),
+        "failed": True,
+        "error": wr.error if wr is not None else {"kind": "lost"},
+        "attempts": wr.attempts if wr is not None else 0,
+        "case_digest": None,
+        "cases": 0,
+        "checks": 0,
+        "mismatches": [],
+        "mismatch_count": 0,
+        "elapsed_s": 0.0,
+        "cases_per_s": 0.0,
+        "cached": False,
+    }
+
+
 def run_sweep(shards: int = 8, workers: int | None = None, seed: int = 0, *,
               cases: int = 64, families: tuple[str, ...] = FAMILIES,
               units: tuple[str, ...] = UNITS, mutation: str | None = None,
               shrink: bool = True, use_cache: bool = True,
               cache_dir: "str | os.PathLike | None" = None,
-              fingerprint_extra: str = "", cache_salt: str = "") -> dict:
+              fingerprint_extra: str = "", cache_salt: str = "",
+              shard_timeout_s: float | None = 300.0,
+              retries: int = 3) -> dict:
     """Run the sharded conformance sweep and return the full report.
 
     ``workers=None`` uses ``os.cpu_count()``; ``workers<=1`` runs inline
@@ -134,6 +158,14 @@ def run_sweep(shards: int = 8, workers: int | None = None, seed: int = 0, *,
     ``--repro``.  Shard results are served from the content-hash cache
     whenever code, vectors, and spec are unchanged; mutation sweeps
     bypass the cache entirely.
+
+    Parallel shards run under the resilient executor
+    (:func:`repro.faults.resilient.run_resilient`): each shard gets a
+    ``shard_timeout_s`` wall-clock budget and up to ``retries``
+    attempts; a worker death respawns the pool and re-dispatches the
+    survivors.  A shard that fails every attempt becomes a structured
+    ``failed`` record (counted in ``totals.failed_shards``, never
+    cached) rather than a hung or crashed sweep.
     """
     if shards < 1:
         raise ValueError("need at least one shard")
@@ -171,27 +203,39 @@ def run_sweep(shards: int = 8, workers: int | None = None, seed: int = 0, *,
     else:
         pending = list(specs)
 
+    resilience = None
     if workers > 1 and len(pending) > 1:
-        with ProcessPoolExecutor(max_workers=min(workers,
-                                                 len(pending))) as pool:
-            for res in pool.map(_shard_entry,
-                                [s.to_dict() for s in pending]):
-                results[res["shard_id"]] = res
+        run = run_resilient(
+            _shard_entry, [s.to_dict() for s in pending],
+            workers=min(workers, len(pending)),
+            timeout_s=shard_timeout_s,
+            retry=RetryPolicy(max_attempts=max(retries, 1)),
+            rng_seed=seed)
+        resilience = run.summary()
+        for spec, wr in zip(pending, run.results):
+            if wr is not None and wr.ok:
+                results[spec.shard_id] = wr.value
+            else:
+                results[spec.shard_id] = _failed_shard_record(spec, wr)
     else:
         for spec in pending:
             results[spec.shard_id] = _shard_entry(spec.to_dict())
 
     if cache is not None:
         for spec in pending:
-            results[spec.shard_id]["cache_key"] = keys[spec.shard_id]
-            cache.put(keys[spec.shard_id], results[spec.shard_id])
+            res = results[spec.shard_id]
+            if res.get("failed"):
+                continue  # a failed shard must never poison the cache
+            res["cache_key"] = keys[spec.shard_id]
+            cache.put(keys[spec.shard_id], res)
 
     wall = time.perf_counter() - t0
     ordered = [results[i] for i in range(shards)]
     total_cases = sum(r["cases"] for r in ordered)
     hits = sum(1 for r in ordered if r["cached"])
     all_mismatches = [m for r in ordered for m in r["mismatches"]]
-    return {
+    failed = [r["shard_id"] for r in ordered if r.get("failed")]
+    report = {
         "config": {
             "shards": shards, "workers": workers, "seed": seed,
             "cases": cases, "families": list(families),
@@ -204,12 +248,16 @@ def run_sweep(shards: int = 8, workers: int | None = None, seed: int = 0, *,
             "cases": total_cases,
             "checks": sum(r["checks"] for r in ordered),
             "mismatches": len(all_mismatches),
+            "failed_shards": failed,
             "cache_hits": hits,
             "cache_hit_rate": round(hits / shards, 4),
             "wall_s": round(wall, 6),
             "cases_per_s": round(total_cases / wall, 2) if wall else 0.0,
         },
     }
+    if resilience is not None:
+        report["resilience"] = resilience
+    return report
 
 
 # ---------------------------------------------------------------------------
@@ -267,6 +315,21 @@ def format_summary(report: dict) -> str:
         f"cache hits {t['cache_hits']}/{len(report['shards'])} "
         f"({100 * t['cache_hit_rate']:.0f}%), "
         f"{t['wall_s']:.2f}s wall, {t['cases_per_s']:.1f} cases/s")
+    for r in report["shards"]:
+        if r.get("failed"):
+            err = r.get("error") or {}
+            rows.append(f"FAILED shard {r['shard_id']}: "
+                        f"{err.get('kind', '?')} after "
+                        f"{r.get('attempts', 0)} attempts "
+                        f"({err.get('message', '')})".rstrip(" ()"))
+    res = report.get("resilience")
+    if res and (res["retries"] or res["timeouts"] or res["pool_respawns"]
+                or res["serial_fallback"]):
+        rows.append(f"resilience: {res['retries']} retries, "
+                    f"{res['timeouts']} timeouts, "
+                    f"{res['pool_respawns']} pool respawns"
+                    + (", serial fallback" if res["serial_fallback"]
+                       else ""))
     for m in report["mismatches"][:10]:
         rows.append("")
         rows.append(f"MISMATCH [{m['unit']}] {m['family']}/{m['stratum']} "
@@ -307,6 +370,12 @@ def main(argv: "list[str] | None" = None) -> int:
                         default=list(UNITS))
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--shard-timeout", type=float, default=300.0,
+                        help="wall-clock seconds one shard attempt may "
+                             "take in parallel mode (default 300)")
+    parser.add_argument("--retries", type=int, default=3,
+                        help="max attempts per shard in parallel mode "
+                             "(default 3)")
     parser.add_argument("--no-shrink", action="store_true")
     parser.add_argument("--json-out", default=None,
                         help="write the full structured report here")
@@ -357,10 +426,13 @@ def main(argv: "list[str] | None" = None) -> int:
             cases=args.cases, families=tuple(args.families),
             units=tuple(args.units), mutation=args.mutation,
             shrink=not args.no_shrink, use_cache=not args.no_cache,
-            cache_dir=args.cache_dir)
+            cache_dir=args.cache_dir, shard_timeout_s=args.shard_timeout,
+            retries=args.retries)
     print(format_summary(report))
     if args.json_out:
         _write_json(args.json_out, report)
+    if report["totals"].get("failed_shards"):
+        return 1
     return 1 if report["totals"]["mismatches"] else 0
 
 

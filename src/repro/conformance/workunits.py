@@ -36,6 +36,7 @@ __all__ = [
     "STRATA",
     "ShardSpec",
     "Case",
+    "draw_triple",
     "generate_cases",
     "shard_rng",
     "golden_vector_path",
@@ -223,6 +224,11 @@ def _draw_triple(rng: random.Random, stratum: str) -> tuple[int, int, int]:
         return (_draw_specials(rng), _draw_specials(rng),
                 _draw_specials(rng))
     raise ValueError(f"unknown stratum: {stratum}")
+
+
+#: public alias -- the fault-injection campaign reuses the stratified
+#: operand generator so its workload matches the conformance sweep's
+draw_triple = _draw_triple
 
 
 # ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@ Two datapath steps of the paper live here:
 
 from __future__ import annotations
 
+from ..probes import probe
 from .csnumber import CSNumber, pcs_carry_mask
 
 __all__ = [
@@ -64,9 +65,11 @@ def carry_reduce(cs: CSNumber, chunk: int) -> CSNumber:
             raise OverflowError("guard carry collision during reduction")
         new_carry |= 1 << width
     _ = chunk_mask  # (chunk_mask kept for symmetry/documentation)
-    return CSNumber(new_sum, new_carry, width,
-                    pcs_carry_mask(width, chunk) |
-                    (1 << width))
+    out = CSNumber(new_sum, new_carry, width,
+                   pcs_carry_mask(width, chunk) |
+                   (1 << width))
+    # fault-injection probe: the PCS chunk-sum/chunk-carry registers
+    return probe("cs.carry_reduce", out)
 
 
 def cs_to_binary(cs: CSNumber) -> int:

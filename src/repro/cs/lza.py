@@ -14,6 +14,8 @@ test-suite) relies on.
 
 from __future__ import annotations
 
+from ..probes import probe
+
 __all__ = ["lza_estimate", "leading_sign_bits", "count_leading_zeros"]
 
 
@@ -79,6 +81,8 @@ def lza_estimate(a: int, b: int, width: int) -> int:
     sum's magnitude, or one position above it.
     """
     mask = (1 << width) - 1
+    # fault-injection probe: the anticipator's input latches
+    a, b = probe("cs.lza_input", (a, b))
     a &= mask
     b &= mask
     t = a ^ b

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..probes import probe
 from .csa import CSAReduction, reduce_rows
 from .csnumber import CSNumber
 
@@ -94,4 +95,6 @@ def multiply_mantissa(b_mant: int, b_width: int, c_tc: int, c_width: int,
 
     red: CSAReduction = reduce_rows(rows, width=w)
     product = CSNumber(red.sum & mask, red.carry & mask, w)
+    # fault-injection probe: the product sum/carry row registers
+    product = probe("cs.mult_product", product)
     return MultiplierResult(product, n_rows, red.depth, red.compressors)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import enum
 
+from ..probes import probe
 from .csnumber import CSNumber
 
 __all__ = [
@@ -125,6 +126,8 @@ def count_skippable_blocks(cs: CSNumber, block_size: int,
 
     The largest valid ``k`` is returned.
     """
+    # fault-injection probe: the ZD's block-class input wires
+    cs = probe("cs.zd_input", cs)
     if cs.width % block_size:
         raise ValueError("width must be a multiple of the block size")
     nblocks = cs.width // block_size

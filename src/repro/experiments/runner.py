@@ -19,7 +19,11 @@ runs a differential sweep alongside the figures.
 
 A failing experiment no longer takes the whole run down silently: its
 traceback is printed to stderr, the remaining experiments still run, and
-the driver exits non-zero.
+the driver exits non-zero.  Parallel runs go through the resilient
+executor (:mod:`repro.faults.resilient`): a worker that dies or hangs
+past ``--timeout`` is retried on a respawned pool, and if it never
+succeeds the driver reports a structured error record for that
+experiment instead of blocking forever on ``future.result()``.
 """
 
 from __future__ import annotations
@@ -29,8 +33,8 @@ import hashlib
 import sys
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
 
+from ..faults.resilient import RetryPolicy, run_resilient
 from . import ablation, fig13, fig14, fig15, table1, table2
 
 __all__ = ["main", "EXPERIMENTS", "run_experiment"]
@@ -93,6 +97,13 @@ def run_experiment(name: str, runs: int = 20, shards: int = 4,
     return EXPERIMENTS[name](args)
 
 
+def _experiment_entry(payload: dict) -> str:
+    """Picklable resilient-executor work unit: one experiment."""
+    return run_experiment(payload["name"], payload["runs"],
+                          payload["shards"], 1, payload["seed"],
+                          payload["cache_dir"])
+
+
 def _cache_key(fingerprint: str, name: str, args) -> str:
     h = hashlib.sha256()
     h.update(fingerprint.encode())
@@ -120,6 +131,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", default=None,
                         help="reuse unchanged experiment results from "
                              "this content-hash cache directory")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="wall-clock seconds one experiment attempt "
+                             "may take in parallel mode (default 600)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="max attempts per experiment in parallel "
+                             "mode (default 2)")
     args = parser.parse_args(argv)
     names = args.experiments or list(EXPERIMENTS)
 
@@ -147,21 +164,33 @@ def main(argv: list[str] | None = None) -> int:
     def record(name: str, exc: BaseException) -> None:
         failures[name] = "".join(traceback.format_exception(exc))
 
+    error_records: dict[str, dict] = {}
     pooled = [n for n in pending if n not in _OWN_POOL]
     inline = [n for n in pending if n in _OWN_POOL]
     if args.workers > 1 and len(pooled) > 1:
-        with ProcessPoolExecutor(max_workers=min(args.workers,
-                                                 len(pooled))) as pool:
-            futures = {
-                name: pool.submit(run_experiment, name, args.runs,
-                                  args.shards, 1, args.seed,
-                                  args.cache_dir)
-                for name in pooled}
-            for name, fut in futures.items():
-                try:
-                    outputs[name] = fut.result()
-                except Exception as exc:
-                    record(name, exc)
+        payloads = [{"name": n, "runs": args.runs, "shards": args.shards,
+                     "seed": args.seed, "cache_dir": args.cache_dir}
+                    for n in pooled]
+        run = run_resilient(
+            _experiment_entry, payloads,
+            workers=min(args.workers, len(pooled)),
+            timeout_s=args.timeout,
+            retry=RetryPolicy(max_attempts=max(args.retries, 1)),
+            rng_seed=args.seed)
+        for name, wr in zip(pooled, run.results):
+            if wr is not None and wr.ok:
+                outputs[name] = wr.value
+            else:
+                err = (wr.error if wr is not None and wr.error
+                       else {"kind": "lost"})
+                error_records[name] = {"experiment": name, **err,
+                                       "attempts": wr.attempts
+                                       if wr is not None else 0}
+                failures[name] = (
+                    f"[{err.get('kind', '?')}] "
+                    + err.get("message", "worker never returned")
+                    + ("\n" + err["traceback"]
+                       if "traceback" in err else ""))
     else:
         inline = pending
     for name in inline:
@@ -188,6 +217,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{name} took {time.time() - started[name]:.1f}s]\n")
 
     if failures:
+        for name in sorted(error_records):
+            rec = error_records[name]
+            print("error-record: "
+                  f"{{'experiment': {rec['experiment']!r}, "
+                  f"'kind': {rec.get('kind', '?')!r}, "
+                  f"'attempts': {rec.get('attempts', 0)}}}",
+                  file=sys.stderr)
         print(f"{len(failures)} experiment(s) failed: "
               f"{', '.join(sorted(failures))}", file=sys.stderr)
         return 1

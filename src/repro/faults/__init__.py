@@ -1,0 +1,32 @@
+"""Transient-fault (SEU) injection campaigns and resilient execution.
+
+Two coupled halves:
+
+* :mod:`repro.faults.campaign` + :mod:`repro.faults.sites` -- the SEU
+  campaign engine: named fault sites across the PCS/FCS datapaths, the
+  batch SWAR engine, the packed operand buses and the structural
+  artifacts (netlists, pipelines, schedules); deterministic seeded
+  injection plans; differential classification into masked / detected /
+  silent-data-corruption with a per-site, per-stage coverage report.
+* :mod:`repro.faults.resilient` -- the shared resilient executor
+  (timeouts, bounded retry with backoff, broken-pool respawn, serial
+  degradation) used by the conformance sweep, the experiment driver and
+  the campaign itself.
+
+Run a campaign with ``python -m repro.faults``; see ``docs/FAULTS.md``.
+"""
+
+from .campaign import (CampaignConfig, aggregate, load_checkpoint,
+                       plan_injections, render_text, run_campaign,
+                       run_injection)
+from .resilient import ResilientRun, RetryPolicy, WorkResult, run_resilient
+from .sites import (SITE_CLASSES, SITES, FaultSite, flip_word,
+                    make_transform, select_sites)
+
+__all__ = [
+    "CampaignConfig", "plan_injections", "run_injection", "run_campaign",
+    "aggregate", "render_text", "load_checkpoint",
+    "FaultSite", "SITES", "SITE_CLASSES", "select_sites", "flip_word",
+    "make_transform",
+    "RetryPolicy", "WorkResult", "ResilientRun", "run_resilient",
+]

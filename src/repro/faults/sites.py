@@ -1,0 +1,268 @@
+"""Named fault sites of the SEU campaign.
+
+A *fault site* is an architecturally named register or wire where a
+single-event upset can land.  The registry below spans every datapath
+of the repo plus its structural artifacts:
+
+* **data sites** flip bits of live signals through the probe points of
+  :mod:`repro.probes` -- the multiplier's CS product rows, the adder
+  window's sum/carry planes, the PCS Carry Reduce output (carries only
+  at the format's legal every-11th-bit positions), the Zero Detector's
+  block-class input, the FCS unit's LZA anticipation inputs, the
+  result mantissa slice, and the batch engine's SWAR lanes;
+* **operand sites** flip bits of the packed 192-bit PCS (or FCS)
+  operand word on the bus between fused operators -- exercising the
+  format's own validity checks (exponent range, exception-class
+  wires);
+* **structural sites** corrupt configuration state instead of data:
+  netlist component cost fields (detected -- or not -- by the
+  ``NL0xx`` lint rules), pipeline stage-register partitions (detected
+  by :meth:`repro.hw.pipeline.Pipeline.validate`), and schedule start
+  times (detected by the ``SCH0xx`` checker).
+
+Bit positions are chosen by *fraction*: the campaign draws floats in
+``[0, 1)`` and the transform maps each onto the site's legal-position
+list at fire time.  This keeps the plan deterministic under a seed
+while adapting to signals whose width is only known at runtime (the
+multiplier's output modulus depends on the window anchoring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..cs.csnumber import CSNumber
+from ..fma.formats import FCS_PARAMS, PCS_PARAMS, CSFmaParams
+
+__all__ = ["FaultSite", "SITES", "SITE_CLASSES", "select_sites",
+           "make_transform", "flip_word", "params_for_unit"]
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One named place a transient fault can strike."""
+
+    name: str
+    kind: str          # "data" | "operand" | "netlist" | "pipeline"
+    #                  # | "schedule"
+    site_class: str    # aggregation class for the SDC-rate table
+    stage: str         # architectural stage the site belongs to
+    unit: str = ""     # "pcs"/"fcs" for datapaths; target name otherwise
+    tag: str = ""      # probe tag (kind == "data" only)
+    plane: str = ""    # which element of the probed value is upset
+    description: str = ""
+
+
+def params_for_unit(unit: str) -> CSFmaParams:
+    return PCS_PARAMS if unit == "pcs" else FCS_PARAMS
+
+
+# ---------------------------------------------------------------------------
+# the registry
+
+
+def _data(name: str, cls: str, stage: str, unit: str, tag: str,
+          plane: str, desc: str) -> FaultSite:
+    return FaultSite(name, "data", cls, stage, unit, tag, plane, desc)
+
+
+_SITE_LIST = [
+    # -- PCS-FMA scalar datapath ---------------------------------------
+    _data("pcs.product.sum", "pcs", "multiplier", "pcs",
+          "cs.mult_product", "sum",
+          "CS product row (sum word) out of the CSA tree"),
+    _data("pcs.product.carry", "pcs", "multiplier", "pcs",
+          "cs.mult_product", "carry",
+          "CS product row (carry word) out of the CSA tree"),
+    _data("pcs.window.sum", "pcs", "window-3to2", "pcs",
+          "fma.window", "sum",
+          "385b adder-window sum plane behind the 3:2 compressor"),
+    _data("pcs.window.carry", "pcs", "window-3to2", "pcs",
+          "fma.window", "carry",
+          "385b adder-window carry plane behind the 3:2 compressor"),
+    _data("pcs.carry_reduce.sum", "pcs", "carry-reduce", "pcs",
+          "cs.carry_reduce", "sum",
+          "chunk-sum register of the 11-bit Carry Reduce adders"),
+    _data("pcs.carry_reduce.carry", "pcs", "carry-reduce", "pcs",
+          "cs.carry_reduce", "carry",
+          "explicit chunk-boundary carry bits after Carry Reduce "
+          "(flips restricted to the format's legal positions)"),
+    _data("pcs.zd.sum", "pcs", "zero-detect", "pcs",
+          "cs.zd_input", "sum",
+          "Zero Detector block-class input, sum plane (upsets the "
+          "normalization select, not the window value)"),
+    _data("pcs.zd.carry", "pcs", "zero-detect", "pcs",
+          "cs.zd_input", "carry",
+          "Zero Detector block-class input, carry plane"),
+    _data("pcs.mant.sum", "pcs", "result-mux", "pcs",
+          "fma.mant_slice", "w0",
+          "result mantissa slice register, sum word"),
+    _data("pcs.mant.carry", "pcs", "result-mux", "pcs",
+          "fma.mant_slice", "w1",
+          "result mantissa slice register, carry word (flips outside "
+          "the chunk-carry mask violate the operand format)"),
+    FaultSite("pcs.operand.word", "operand", "pcs", "operand-bus", "pcs",
+              description="packed 192-bit PCS operand word on the bus "
+              "between fused operators"),
+    # -- FCS-FMA scalar datapath ---------------------------------------
+    _data("fcs.product.sum", "fcs", "multiplier", "fcs",
+          "cs.mult_product", "sum",
+          "CS product row (sum word) out of the CSA tree"),
+    _data("fcs.product.carry", "fcs", "multiplier", "fcs",
+          "cs.mult_product", "carry",
+          "CS product row (carry word) out of the CSA tree"),
+    _data("fcs.window.sum", "fcs", "window-3to2", "fcs",
+          "fma.window", "sum",
+          "377-digit window sum plane (full carry save)"),
+    _data("fcs.window.carry", "fcs", "window-3to2", "fcs",
+          "fma.window", "carry",
+          "377-digit window carry plane (full carry save)"),
+    _data("fcs.lza.a", "fcs", "lza", "fcs",
+          "cs.lza_input", "w0",
+          "LZA anticipation input, addend row"),
+    _data("fcs.lza.b", "fcs", "lza", "fcs",
+          "cs.lza_input", "w1",
+          "LZA anticipation input, collapsed product row"),
+    _data("fcs.mant.sum", "fcs", "result-mux", "fcs",
+          "fma.mant_slice", "w0",
+          "result mantissa slice register, sum word"),
+    _data("fcs.mant.carry", "fcs", "result-mux", "fcs",
+          "fma.mant_slice", "w1",
+          "result mantissa slice register, carry word"),
+    FaultSite("fcs.operand.word", "operand", "fcs", "operand-bus", "fcs",
+              description="packed FCS operand word on the bus between "
+              "fused operators"),
+    # -- batch (SWAR) engine -------------------------------------------
+    _data("batch.pcs.product.sum", "batch", "multiplier", "pcs",
+          "batch.product", "w0",
+          "compiled-tree product row (sum), PCS kernel"),
+    _data("batch.pcs.product.carry", "batch", "multiplier", "pcs",
+          "batch.product", "w1",
+          "compiled-tree product row (carry), PCS kernel"),
+    _data("batch.pcs.window.sum", "batch", "carry-reduce", "pcs",
+          "batch.window", "w0",
+          "post-SWAR-Carry-Reduce window sum lane, PCS kernel"),
+    _data("batch.pcs.window.carry", "batch", "carry-reduce", "pcs",
+          "batch.window", "w1",
+          "post-SWAR-Carry-Reduce window carry lane, PCS kernel"),
+    _data("batch.fcs.product.sum", "batch", "multiplier", "fcs",
+          "batch.product", "w0",
+          "compiled-tree product row (sum), FCS kernel"),
+    _data("batch.fcs.product.carry", "batch", "multiplier", "fcs",
+          "batch.product", "w1",
+          "compiled-tree product row (carry), FCS kernel"),
+    _data("batch.fcs.window.sum", "batch", "window-3to2", "fcs",
+          "batch.window", "w0",
+          "raw 3:2 window sum lane, FCS kernel"),
+    _data("batch.fcs.window.carry", "batch", "window-3to2", "fcs",
+          "batch.window", "w1",
+          "raw 3:2 window carry lane, FCS kernel"),
+    # -- structural sites ----------------------------------------------
+    FaultSite("netlist.pcs-fma", "netlist", "structural", "netlist",
+              "pcs-fma",
+              description="bit flip in a component cost field of the "
+              "pcs-fma unit design (NL0xx lint is the detector)"),
+    FaultSite("netlist.fcs-fma", "netlist", "structural", "netlist",
+              "fcs-fma",
+              description="bit flip in a component cost field of the "
+              "fcs-fma unit design"),
+    FaultSite("pipeline.pcs-fma", "pipeline", "structural",
+              "pipeline-registers", "pcs-fma",
+              description="corruption of the pcs-fma pipeline stage "
+              "partition (Pipeline.validate is the detector)"),
+    FaultSite("pipeline.fcs-fma", "pipeline", "structural",
+              "pipeline-registers", "fcs-fma",
+              description="corruption of the fcs-fma pipeline stage "
+              "partition"),
+    FaultSite("schedule.listing1", "schedule", "structural", "schedule",
+              "listing1",
+              description="bit flip in a start time of the Listing 1 "
+              "list schedule (SCH0xx checker is the detector)"),
+]
+
+#: name -> :class:`FaultSite`, the full campaign surface.
+SITES: dict[str, FaultSite] = {s.name: s for s in _SITE_LIST}
+
+#: aggregation classes, in report order.
+SITE_CLASSES = ("pcs", "fcs", "batch", "structural")
+
+
+def select_sites(names: tuple[str, ...] = (),
+                 classes: tuple[str, ...] = ()) -> list[FaultSite]:
+    """Sites matching the filters, in deterministic (name) order."""
+    for n in names:
+        if n not in SITES:
+            raise KeyError(f"unknown fault site {n!r}; known: "
+                           + ", ".join(sorted(SITES)))
+    for c in classes:
+        if c not in SITE_CLASSES:
+            raise KeyError(f"unknown site class {c!r}; known: "
+                           + ", ".join(SITE_CLASSES))
+    out = [SITES[n] for n in sorted(SITES)]
+    if names:
+        out = [s for s in out if s.name in names]
+    if classes:
+        out = [s for s in out if s.site_class in classes]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# bit selection and transforms
+
+
+def flip_word(legal_mask: int, fracs: tuple[float, ...]) -> int:
+    """XOR word flipping one bit per fraction, restricted to the legal
+    positions of ``legal_mask`` (distinct fractions may collapse onto
+    the same position; the XOR then flips fewer bits)."""
+    positions = []
+    m = legal_mask
+    while m:
+        low = m & -m
+        positions.append(low.bit_length() - 1)
+        m &= m - 1
+    if not positions:
+        return 0
+    word = 0
+    for f in fracs:
+        word ^= 1 << positions[int(f * len(positions)) % len(positions)]
+    return word
+
+
+def _tuple_mask(site: FaultSite, params: CSFmaParams) -> int:
+    """Legal flip positions for tuple-valued probe points."""
+    if site.tag == "fma.mant_slice":
+        # both words span the mantissa; carry flips may land outside
+        # the chunk-carry mask on purpose -- the operand format's
+        # validity check is then the detector
+        return (1 << params.mant_width) - 1
+    return (1 << params.window_width) - 1
+
+
+def make_transform(site: FaultSite, fracs: tuple[float, ...],
+                   params: CSFmaParams) -> Callable[[Any], Any]:
+    """Build the value transform an :class:`~repro.probes.Arm` applies
+    at ``site`` -- flipping one bit per fraction in the site's plane."""
+    plane = site.plane
+    if plane in ("sum", "carry"):
+        def upset_cs(v: CSNumber) -> CSNumber:
+            if plane == "sum":
+                w = flip_word((1 << v.width) - 1, fracs)
+                return CSNumber(v.sum ^ w, v.carry, v.width,
+                                v.carry_mask)
+            mask = (v.carry_mask if v.carry_mask is not None
+                    else (1 << v.width) - 1)
+            w = flip_word(mask, fracs)
+            return CSNumber(v.sum, v.carry ^ w, v.width, v.carry_mask)
+        return upset_cs
+    if plane in ("w0", "w1"):
+        idx = 0 if plane == "w0" else 1
+        mask = _tuple_mask(site, params)
+
+        def upset_pair(v: tuple) -> tuple:
+            w = flip_word(mask, fracs)
+            out = list(v)
+            out[idx] ^= w
+            return tuple(out)
+        return upset_pair
+    raise ValueError(f"site {site.name!r} has no data plane")

@@ -45,6 +45,7 @@ from ..cs.lza import lza_estimate
 from ..cs.multiplier import multiply_mantissa
 from ..cs.zero_detect import count_skippable_blocks
 from ..fp.value import FpClass, FPValue
+from ..probes import probe
 from .formats import (CSFloat, CSFmaParams, FCS_PARAMS, PCS_PARAMS,
                       round_decision)
 
@@ -194,6 +195,8 @@ class CSFmaUnit:
         # --- stage 5: wide carry-save addition ---------------------------
         red = reduce_rows(rows, width=W)
         window = CSNumber(red.sum, red.carry & wmask, W)
+        # fault-injection probe: the window digit sum/carry planes
+        window = probe("fma.window", window)
 
         # --- stage 6: carry reduce (PCS) ---------------------------------
         if self.use_carry_reduce:
@@ -234,6 +237,8 @@ class CSFmaUnit:
             # Cannot happen for a carry-reduced window sliced at a block
             # boundary; full-CS windows allow carries everywhere.
             raise AssertionError("carry bit outside the operand format")
+        # fault-injection probe: the result mantissa slice registers
+        m_sum, m_carry = probe("fma.mant_slice", (m_sum, m_carry))
         mant = CSNumber(m_sum, m_carry, p.mant_width, p.mant_carry_mask)
 
         rlo = lo - p.block

@@ -58,6 +58,39 @@ class Pipeline:
     def meets(self, target_mhz: float) -> bool:
         return self.fmax_mhz >= target_mhz
 
+    def validate(self, path: "list[Component] | None" = None,
+                 target_mhz: float | None = None) -> list[str]:
+        """Structural self-check; returns a list of problem strings.
+
+        A clean pipeline returns ``[]``.  Checks: no empty stages, no
+        negative/non-finite stage delays, the stages flatten back to
+        exactly ``path`` (same components, same order -- a register
+        file corrupted to drop or duplicate a component is caught
+        here), and -- when ``target_mhz`` is given -- the timing the
+        pipeline was cut for is still met.  The transient-fault
+        campaign (:mod:`repro.faults`) uses this as the detector for
+        stage-register corruption; a corruption it misses is silent.
+        """
+        problems: list[str] = []
+        for i, stage in enumerate(self.stages):
+            if not stage:
+                problems.append(f"stage {i} is empty")
+        for i, d in enumerate(self.stage_delays):
+            if not (d >= 0.0) or d == float("inf"):
+                problems.append(f"stage {i} delay {d!r} is implausible")
+        if path is not None:
+            flat = [c for stage in self.stages for c in stage]
+            if len(flat) != len(path) or any(
+                    a is not b for a, b in zip(flat, path)):
+                problems.append(
+                    "stages do not partition the component chain: "
+                    f"{len(flat)} staged vs {len(path)} on the path")
+        if target_mhz is not None and not self.meets(target_mhz):
+            problems.append(
+                f"achieved fmax {self.fmax_mhz:.1f} MHz misses the "
+                f"{target_mhz:g} MHz target")
+        return problems
+
 
 def _greedy_stage_count(delays: list[float], budget: float) -> int:
     """Minimal number of contiguous stages with per-stage sum <= budget

@@ -1,0 +1,99 @@
+"""Named fault-injection probe points threaded through the datapaths.
+
+The SEU campaign engine (:mod:`repro.faults`) needs to flip individual
+bits of *internal* datapath signals -- the PCS carry plane after Carry
+Reduce, the window CS pair behind the 3:2 compressor, the Zero
+Detector's block-class input, the LZA anticipation inputs, the batch
+kernel's SWAR lanes.  Monkey-patching is too fragile for that (most of
+those signals are locals inside one long function), so the datapath
+modules call :func:`probe` at each architecturally named register/wire
+and this module decides -- in O(1), with a single global ``None`` check
+on the fast path -- whether a transient fault is armed there.
+
+Disarmed (the default, and the only state outside a campaign) a probe
+is ``return value`` behind one global load, so the faithful units and
+the batch kernels keep their performance profile.  Armed, the
+:class:`Arm` for the tag counts dynamic occurrences and applies its
+transform exactly at the requested occurrence -- a *transient* upset of
+one register on one clock edge, not a stuck-at fault.
+
+This module is deliberately dependency-free: it is imported by
+``repro.cs``/``repro.fma``/``repro.batch`` and *used* by
+``repro.faults``, and must never create an import cycle between them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Callable, Iterator
+
+__all__ = ["Arm", "armed", "probe", "probe_active"]
+
+#: tag -> Arm while a fault is armed; ``None`` always means "fast path".
+ARMED: "dict[str, Arm] | None" = None
+
+
+class Arm:
+    """One armed transient fault: a transform applied at one occurrence.
+
+    ``at_call`` selects which dynamic occurrence of the probe tag is
+    upset (0 = the first time the signal is latched during the armed
+    region); every other occurrence passes through untouched.  ``hits``
+    records whether the fault actually landed -- a campaign uses it to
+    distinguish "masked by logic" from "the site was never exercised".
+    """
+
+    __slots__ = ("transform", "at_call", "calls", "hits")
+
+    def __init__(self, transform: Callable[[Any], Any],
+                 at_call: int = 0):
+        self.transform = transform
+        self.at_call = at_call
+        self.calls = 0
+        self.hits = 0
+
+    def fire(self, value: Any) -> Any:
+        i = self.calls
+        self.calls = i + 1
+        if i == self.at_call:
+            self.hits += 1
+            return self.transform(value)
+        return value
+
+
+def probe(tag: str, value: Any) -> Any:
+    """Pass ``value`` through the probe point named ``tag``.
+
+    Identity unless a campaign armed a fault at this tag; hot paths may
+    guard the call with :func:`probe_active` to skip even the call.
+    """
+    if ARMED is None:
+        return value
+    arm = ARMED.get(tag)
+    if arm is None:
+        return value
+    return arm.fire(value)
+
+
+def probe_active() -> bool:
+    """True while any fault is armed (hot-path call guard)."""
+    return ARMED is not None
+
+
+@contextlib.contextmanager
+def armed(arms: "dict[str, Arm]") -> Iterator["dict[str, Arm]"]:
+    """Arm the given faults for the duration of the context.
+
+    Arming is process-global (the datapaths read one module global) and
+    intentionally non-reentrant: campaigns evaluate one faulted
+    configuration at a time, and nesting would make "which fault caused
+    this outcome" ambiguous.
+    """
+    global ARMED
+    if ARMED is not None:
+        raise RuntimeError("fault probes are already armed")
+    ARMED = arms
+    try:
+        yield arms
+    finally:
+        ARMED = None

@@ -1,0 +1,105 @@
+"""Fault-site registry and transform tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cs.csnumber import CSNumber, pcs_carry_mask
+from repro.faults.sites import (SITE_CLASSES, SITES, FaultSite, flip_word,
+                                make_transform, params_for_unit,
+                                select_sites)
+from repro.fma.formats import FCS_PARAMS, PCS_PARAMS
+
+
+def test_registry_covers_every_class_and_required_stages():
+    classes = {s.site_class for s in SITES.values()}
+    assert classes == set(SITE_CLASSES)
+    stages = {s.stage for s in SITES.values()}
+    # the ISSUE's required surface: carry bits / chunk boundaries, digit
+    # planes, ZD inputs, LZA bits, pipeline registers, batch SWAR lanes
+    for stage in ("multiplier", "window-3to2", "carry-reduce",
+                  "zero-detect", "lza", "result-mux", "operand-bus",
+                  "pipeline-registers", "netlist", "schedule"):
+        assert stage in stages, stage
+
+
+def test_select_sites_is_sorted_and_filtered():
+    all_sites = select_sites()
+    assert [s.name for s in all_sites] == sorted(SITES)
+    pcs_only = select_sites(classes=("pcs",))
+    assert pcs_only and all(s.site_class == "pcs" for s in pcs_only)
+    named = select_sites(names=("pcs.window.sum", "fcs.lza.a"))
+    assert [s.name for s in named] == ["fcs.lza.a", "pcs.window.sum"]
+
+
+def test_select_sites_rejects_unknown_names():
+    with pytest.raises(KeyError):
+        select_sites(names=("no.such.site",))
+    with pytest.raises(KeyError):
+        select_sites(classes=("bogus",))
+
+
+def test_flip_word_respects_legal_mask():
+    mask = pcs_carry_mask(385, 11)
+    for fracs in [(0.0,), (0.5,), (0.999,), (0.1, 0.9)]:
+        w = flip_word(mask, fracs)
+        assert w & ~mask == 0
+        assert bin(w).count("1") <= len(fracs)
+    assert flip_word(0, (0.5,)) == 0  # no legal positions -> no flip
+
+
+def test_flip_word_is_deterministic():
+    mask = (1 << 110) - 1
+    assert flip_word(mask, (0.25, 0.75)) == flip_word(mask, (0.25, 0.75))
+
+
+def test_carry_plane_transform_stays_in_format():
+    # a carry-plane upset at a masked site must always produce a valid
+    # CSNumber (only legal carry positions are flipped)
+    site = SITES["pcs.carry_reduce.carry"]
+    params = params_for_unit(site.unit)
+    w = params.window_width
+    v = CSNumber(123456789, 1 << params.carry_spacing, w,
+                 pcs_carry_mask(w, params.carry_spacing))
+    for f in (0.0, 0.3, 0.77):
+        out = make_transform(site, (f,), params)(v)
+        assert isinstance(out, CSNumber)
+        assert out.sum == v.sum and out.carry != v.carry
+
+
+def test_sum_plane_transform_flips_only_sum():
+    site = SITES["fcs.window.sum"]
+    params = params_for_unit(site.unit)
+    v = CSNumber(0xABCDEF, 0, params.window_width)
+    out = make_transform(site, (0.42,), params)(v)
+    assert out.carry == v.carry and out.sum != v.sum
+
+
+def test_tuple_plane_transform_targets_one_word():
+    site = SITES["batch.pcs.window.carry"]
+    out = make_transform(site, (0.6,), PCS_PARAMS)((111, 222))
+    assert out[0] == 111 and out[1] != 222
+
+
+def test_mant_slice_transform_may_leave_format():
+    # the mantissa-slice carry plane deliberately allows flips outside
+    # the chunk-carry mask: the format boundary is the detector
+    site = SITES["pcs.mant.carry"]
+    hit_illegal = False
+    for i in range(40):
+        s, c = make_transform(site, (i / 40,), PCS_PARAMS)((0, 0))
+        assert s == 0 and c != 0
+        if c & ~PCS_PARAMS.mant_carry_mask:
+            hit_illegal = True
+    assert hit_illegal
+
+
+def test_data_site_without_plane_rejected():
+    bad = FaultSite("x", "data", "pcs", "multiplier", "pcs", "tag", "")
+    with pytest.raises(ValueError):
+        make_transform(bad, (0.5,), PCS_PARAMS)
+
+
+def test_params_for_unit():
+    assert params_for_unit("pcs") is PCS_PARAMS
+    assert params_for_unit("fcs") is FCS_PARAMS
