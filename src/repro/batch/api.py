@@ -17,6 +17,7 @@ from ..fma.csfma import CSFmaUnit, FcsFmaUnit
 from ..fma.formats import CSFloat
 from ..fp.formats import BINARY64
 from ..fp.value import FpClass, FPValue
+from ..telemetry import core as _tm
 from .cskernel import bit_positions, kernel_for
 from .ieee_fast import fp_mul_fast
 
@@ -43,6 +44,14 @@ def fma_batch(a: Sequence["CSFloat | FPValue"], b: Sequence[FPValue],
         raise ValueError("operand vector length mismatch")
     unit = unit if unit is not None else FcsFmaUnit()
     kernel = kernel_for(unit) if use_batch else None
+    tm = _tm.ACTIVE
+    if tm is not None:
+        # call-boundary instrumentation only: per-kernel lane counts,
+        # never per-element work (keeps the disabled-overhead gate free)
+        tm.count("batch.fma.calls")
+        tm.count(f"batch.fma.elements.{unit.params.name}", len(a))
+        if kernel is None:
+            tm.count("batch.fma.fallback_scalar")
     if kernel is None:
         return [unit.fma(_as_cs(ai, unit), bi, _as_cs(ci, unit))
                 for ai, bi, ci in zip(a, b, c)]
@@ -72,12 +81,20 @@ def dot_batch(a: Sequence[FPValue], b: Sequence[FPValue],
         raise ValueError("vector length mismatch")
     unit = unit if unit is not None else FcsFmaUnit()
     kernel = kernel_for(unit) if use_batch else None
+    tm = _tm.ACTIVE
+    if tm is not None:
+        tm.count("batch.dot.calls")
+        tm.count(f"batch.dot.elements.{unit.params.name}", len(a))
+        if kernel is None:
+            tm.count("batch.dot.fallback_scalar")
     if kernel is None:
         acc = ieee_to_cs(FPValue.zero(BINARY64), unit.params)
         for ai, bi in zip(a, b):
             acc = unit.fma(acc, ai, ieee_to_cs(bi, unit.params))
         return cs_to_ieee(acc)
-    return cs_to_ieee(kernel.lower(kernel.dot_tuple(a, b)))
+    with _tm.span("batch.dot.kernel"):
+        acc = kernel.dot_tuple(a, b)
+    return cs_to_ieee(kernel.lower(acc))
 
 
 def accumulate_batch(a: Sequence[FPValue], b: Sequence[FPValue],
@@ -93,6 +110,9 @@ def accumulate_batch(a: Sequence[FPValue], b: Sequence[FPValue],
         raise ValueError("vector length mismatch")
     if acc is None:
         acc = PcsAccumulator()
+    if _tm.ACTIVE is not None:
+        _tm.ACTIVE.count("batch.acc.calls")
+        _tm.ACTIVE.count("batch.acc.elements", len(a))
     if not use_batch:
         for ai, bi in zip(a, b):
             acc.accumulate(ai, bi)

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from .. import probes
 from ..fma.csfma import CSFmaUnit
+from ..telemetry import core as _tm
 from ..fma.formats import CSFloat, CSFmaParams
 from ..fp.formats import BINARY64
 from ..fp.value import FpClass, FPValue
@@ -58,6 +59,9 @@ def kernel_for(unit: CSFmaUnit) -> "FastCSKernel | None":
         return None
     key = (id(unit.params), unit.selector, unit.use_carry_reduce)
     k = _KERNELS.get(key)
+    if _tm.ACTIVE is not None:
+        _tm.ACTIVE.count("batch.kernel.cache.hit" if k is not None
+                         else "batch.kernel.cache.miss")
     if k is None:
         k = FastCSKernel(unit.params, unit.selector, unit.use_carry_reduce)
         _KERNELS[key] = k

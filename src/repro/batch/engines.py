@@ -20,6 +20,7 @@ from ..fma.csfma import CSFmaUnit
 from ..fp.formats import BINARY64, FloatFormat
 from ..fp.rounding import RoundingMode
 from ..fp.value import FPValue
+from ..telemetry import core as _tm
 from .cskernel import FastCSKernel, kernel_for
 from .ieee_fast import as_format_fast, fp_add_fast, fp_fma_fast, fp_mul_fast
 
@@ -43,6 +44,8 @@ class FastCSFmaEngine(FmaEngine):
         return self.kernel.lift_ieee(x)
 
     def fma(self, a: Any, b: FPValue, c: Any) -> Any:
+        if _tm.ACTIVE is not None:
+            _tm.ACTIVE.count(f"batch.engine.fma.{self.name}")
         k = self.kernel
         return k.fma(a, k.lift_b(b), c)
 
@@ -103,12 +106,19 @@ def accelerate_engine(engine: FmaEngine | None) -> FmaEngine | None:
     if engine is None:
         return None
     t = type(engine)
+    tm = _tm.ACTIVE
     if t is CSFmaEngine:
         if kernel_for(engine.unit) is None:
             return engine
+        if tm is not None:
+            tm.count(f"batch.engine.accelerated.{engine.name}")
         return FastCSFmaEngine(engine.unit)
     if t is FusedIeeeEngine:
+        if tm is not None:
+            tm.count(f"batch.engine.accelerated.{engine.name}")
         return FastFusedIeeeEngine(engine.fmt, engine.unit.mode)
     if t is DiscreteMulAddEngine:
+        if tm is not None:
+            tm.count(f"batch.engine.accelerated.{engine.name}")
         return FastDiscreteMulAddEngine(engine.fmt, engine.mode)
     return engine

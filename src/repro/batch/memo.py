@@ -15,7 +15,10 @@ from __future__ import annotations
 
 from typing import Callable
 
-__all__ = ["hw_cache_info", "clear_hw_caches", "cached_lookups"]
+from ..telemetry import core as _tm
+
+__all__ = ["hw_cache_info", "clear_hw_caches", "cached_lookups",
+           "publish_cache_stats"]
 
 
 def cached_lookups() -> dict[str, Callable]:
@@ -40,3 +43,21 @@ def clear_hw_caches() -> None:
     device model in tests)."""
     for fn in cached_lookups().values():
         fn.cache_clear()
+
+
+def publish_cache_stats() -> dict[str, object]:
+    """Push the current memo statistics into the active telemetry.
+
+    ``lru_cache`` counters are absolute per-process readings, so they
+    publish as high-water *gauges* (merged by ``max``), which keeps
+    repeated publishing idempotent and the parallel merge deterministic.
+    Returns the raw :func:`hw_cache_info` either way.
+    """
+    stats = hw_cache_info()
+    t = _tm.ACTIVE
+    if t is not None:
+        for name, info in stats.items():
+            t.gauge(f"batch.memo.{name}.hits", info.hits)
+            t.gauge(f"batch.memo.{name}.misses", info.misses)
+            t.gauge(f"batch.memo.{name}.size", info.currsize)
+    return stats

@@ -26,6 +26,7 @@ import sys
 import time
 
 from ..faults.resilient import RetryPolicy, run_resilient
+from ..telemetry import core as _tm
 from . import mutation as mutation_mod
 from .cache import ResultCache, code_fingerprint, default_cache_dir, shard_key
 from .checks import check_case
@@ -73,22 +74,29 @@ def _shrink_mismatch(mismatch: dict, case: Case) -> None:
 def run_shard(spec: ShardSpec) -> dict:
     """Execute one shard inline and return its structured result."""
     t0 = time.perf_counter()
-    cases = generate_cases(spec)
-    mismatches: list[dict] = []
-    checks = 0
-    for case in cases:
-        units = spec.units
-        if case.family == "dot":  # classic has no fused dot datapath
-            units = tuple(u for u in units if u != "classic")
-        checks += len(units)
-        mismatches.extend(check_case(case, units))
-    if spec.shrink:
-        for m in mismatches[:_SHRINK_CAP]:
-            matching = [c for c in cases if c.case_id == m["case_id"]
-                        and c.family == m["family"]]
-            if matching:
-                _shrink_mismatch(m, matching[0])
+    with _tm.span("conformance.shard"):
+        cases = generate_cases(spec)
+        mismatches: list[dict] = []
+        checks = 0
+        for case in cases:
+            units = spec.units
+            if case.family == "dot":  # classic has no fused dot datapath
+                units = tuple(u for u in units if u != "classic")
+            checks += len(units)
+            mismatches.extend(check_case(case, units))
+        if spec.shrink:
+            for m in mismatches[:_SHRINK_CAP]:
+                matching = [c for c in cases if c.case_id == m["case_id"]
+                            and c.family == m["family"]]
+                if matching:
+                    _shrink_mismatch(m, matching[0])
     elapsed = time.perf_counter() - t0
+    tm = _tm.ACTIVE
+    if tm is not None:
+        tm.count("conformance.shards")
+        tm.count("conformance.cases", len(cases))
+        tm.count("conformance.checks", checks)
+        tm.count("conformance.mismatches", len(mismatches))
     return {
         "shard_id": spec.shard_id,
         "seed": spec.seed,
@@ -257,6 +265,18 @@ def run_sweep(shards: int = 8, workers: int | None = None, seed: int = 0, *,
     }
     if resilience is not None:
         report["resilience"] = resilience
+    tm = _tm.ACTIVE
+    if tm is not None:
+        tm.count("conformance.sweeps")
+        tm.count("conformance.cache.hit", hits)
+        tm.count("conformance.cache.miss", shards - hits)
+        tm.count("conformance.shard.failed", len(failed))
+        tm.observe("conformance.sweep", int(wall * 1e9))
+        if resilience is not None:
+            tm.count("conformance.retries", resilience["retries"])
+            tm.count("conformance.timeouts", resilience["timeouts"])
+            tm.count("conformance.pool_respawns",
+                     resilience["pool_respawns"])
     return report
 
 
@@ -290,6 +310,9 @@ def run_mutation_check(mutations: "list[str] | None" = None, *,
             "mismatches": found,
             "detected": found > 0,
         }
+        if _tm.ACTIVE is not None:
+            _tm.ACTIVE.count("conformance.mutants.detected" if found
+                             else "conformance.mutants.missed")
         ok = ok and found > 0
     report["ok"] = ok
     return report

@@ -15,6 +15,7 @@ test-suite) relies on.
 from __future__ import annotations
 
 from ..probes import probe
+from ..telemetry import core as _tm
 
 __all__ = ["lza_estimate", "leading_sign_bits", "count_leading_zeros"]
 
@@ -102,9 +103,13 @@ def lza_estimate(a: int, b: int, width: int) -> int:
 
     if f == 0:
         # No significance anywhere: the sum is 0 or -1 -> fully redundant.
+        if _tm.ACTIVE is not None:
+            _tm.ACTIVE.count("cs.lza.fully_redundant")
         return width - 1 if width > 0 else 0
     pos = f.bit_length() - 1
     est = width - 1 - pos
+    if _tm.ACTIVE is not None:
+        _tm.ACTIVE.count("cs.lza.estimates")
     # The anticipated position may be one left of the true leading one,
     # never right of it, so est is a valid lower bound on the redundant
     # leading sign bits.

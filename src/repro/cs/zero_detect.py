@@ -26,6 +26,7 @@ from __future__ import annotations
 import enum
 
 from ..probes import probe
+from ..telemetry import core as _tm
 from .csnumber import CSNumber
 
 __all__ = [
@@ -132,10 +133,23 @@ def count_skippable_blocks(cs: CSNumber, block_size: int,
         raise ValueError("width must be a multiple of the block size")
     nblocks = cs.width // block_size
     limit = nblocks - 1 if max_skip is None else min(max_skip, nblocks - 1)
+    skipped = 0
     for k in range(limit, 0, -1):
         if skip_preserves_value(cs, block_size, k):
-            return k
-    return 0
+            skipped = k
+            break
+    t = _tm.ACTIVE
+    if t is not None:
+        # telemetry: tally the Fig. 10 class of every leading block down
+        # to (and including) the first significant one, plus the skip
+        # count the 6-to-1 mux actually took
+        for j in range(nblocks - 1, -1, -1):
+            kind = classify_block(block_digits(cs, j, block_size))
+            t.count(f"cs.zd.class.{kind.value}")
+            if kind is BlockKind.SIGNIFICANT:
+                break
+        t.count(f"cs.zd.skipped.{skipped}")
+    return skipped
 
 
 def skip_preserves_value(cs: CSNumber, block_size: int, skipped: int,

@@ -35,6 +35,7 @@ import time
 import traceback
 
 from ..faults.resilient import RetryPolicy, run_resilient
+from ..telemetry import core as _tm
 from . import ablation, fig13, fig14, fig15, table1, table2
 
 __all__ = ["main", "EXPERIMENTS", "run_experiment"]
@@ -94,7 +95,11 @@ def run_experiment(name: str, runs: int = 20, shards: int = 4,
     """Execute one experiment by name (picklable pool entry point)."""
     args = argparse.Namespace(runs=runs, shards=shards, workers=workers,
                               seed=seed, cache_dir=cache_dir)
-    return EXPERIMENTS[name](args)
+    with _tm.span(f"experiments.{name}"):
+        out = EXPERIMENTS[name](args)
+    if _tm.ACTIVE is not None:
+        _tm.ACTIVE.count(f"experiments.run.{name}")
+    return out
 
 
 def _experiment_entry(payload: dict) -> str:
@@ -158,11 +163,17 @@ def main(argv: list[str] | None = None) -> int:
             hit = cache.get(_cache_key(fingerprint, name, args))
             if hit is not None:
                 outputs[name] = hit["text"] + "\n[cached]"
+                if _tm.ACTIVE is not None:
+                    _tm.ACTIVE.count("experiments.cache.hit")
                 continue
+            if _tm.ACTIVE is not None:
+                _tm.ACTIVE.count("experiments.cache.miss")
         pending.append(name)
 
     def record(name: str, exc: BaseException) -> None:
         failures[name] = "".join(traceback.format_exception(exc))
+        if _tm.ACTIVE is not None:
+            _tm.ACTIVE.count("experiments.failed")
 
     error_records: dict[str, dict] = {}
     pooled = [n for n in pending if n not in _OWN_POOL]

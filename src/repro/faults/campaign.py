@@ -45,6 +45,7 @@ from ..conformance.workunits import STRATA, draw_triple
 from ..fma.convert import cs_to_ieee, ieee_to_cs
 from ..fma.formats import CSFloat
 from ..probes import Arm, armed
+from ..telemetry import core as _tm
 from .resilient import RetryPolicy, run_resilient
 from .sites import (SITE_CLASSES, FaultSite, flip_word, make_transform,
                     params_for_unit, select_sites)
@@ -575,6 +576,17 @@ def run_campaign(config: CampaignConfig, *, workers: int = 1,
     report = aggregate(config, records, sites)
     if resilience is not None:
         report["resilience"] = resilience
+    tm = _tm.ACTIVE
+    if tm is not None:
+        tm.count("faults.campaigns")
+        tm.count("faults.injections", len(records))
+        for rec in records:
+            tm.count(f"faults.outcome.{rec['outcome']}")
+            if rec.get("landed"):
+                tm.count("faults.landed")
+        if resilience is not None:
+            tm.count("faults.retries", resilience["retries"])
+            tm.count("faults.timeouts", resilience["timeouts"])
     return report
 
 

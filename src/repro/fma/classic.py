@@ -22,6 +22,7 @@ from ..fp.formats import BINARY64, FloatFormat
 from ..fp.ops import fp_fma
 from ..fp.rounding import RoundingMode
 from ..fp.value import FPValue
+from ..telemetry import core as _tm
 
 __all__ = ["ClassicFmaUnit", "ClassicTrace"]
 
@@ -60,6 +61,8 @@ class ClassicFmaUnit:
     def fma(self, a: FPValue, b: FPValue, c: FPValue,
             trace: ClassicTrace | None = None) -> FPValue:
         """Correctly rounded ``a + b * c``."""
+        if _tm.ACTIVE is not None:
+            _tm.ACTIVE.count("fma.scalar.call.classic")
         r = fp_fma(a, b, c, fmt=self.fmt, mode=self.mode)
         if trace is not None and a.is_normal and b.is_normal \
                 and c.is_normal:

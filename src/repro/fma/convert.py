@@ -13,6 +13,7 @@ from __future__ import annotations
 from ..fp.formats import BINARY64, FloatFormat
 from ..fp.rounding import RoundingMode
 from ..fp.value import FPValue
+from ..telemetry import core as _tm
 from .formats import CSFloat, CSFmaParams
 
 __all__ = ["ieee_to_cs", "cs_to_ieee"]
@@ -25,6 +26,8 @@ def ieee_to_cs(x: FPValue, params: CSFmaParams) -> CSFloat:
     mantissa block plus two's-complement negation for negative values --
     one adder of ``mant_width`` bits in the worst case, no rounding.
     """
+    if _tm.ACTIVE is not None:
+        _tm.ACTIVE.count("fma.convert.ieee_to_cs")
     return CSFloat.from_ieee(x, params)
 
 
@@ -40,6 +43,10 @@ def cs_to_ieee(x: CSFloat, fmt: FloatFormat = BINARY64,
     documented misrounding (Sec. III-E); no *additional* error is
     introduced here.
     """
+    if _tm.ACTIVE is not None:
+        # the expensive direction: full carry collapse + true
+        # variable-distance normalization (the "slow normalize" path)
+        _tm.ACTIVE.count("fma.convert.cs_to_ieee")
     if x.is_nan:
         return FPValue.nan(fmt)
     if x.is_inf:

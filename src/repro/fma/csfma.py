@@ -46,6 +46,7 @@ from ..cs.multiplier import multiply_mantissa
 from ..cs.zero_detect import count_skippable_blocks
 from ..fp.value import FpClass, FPValue
 from ..probes import probe
+from ..telemetry import core as _tm
 from .formats import (CSFloat, CSFmaParams, FCS_PARAMS, PCS_PARAMS,
                       round_decision)
 
@@ -113,8 +114,15 @@ class CSFmaUnit:
         if a.params is not p or c.params is not p:
             raise ValueError("operand format does not match this unit")
 
+        tm = _tm.ACTIVE
+        if tm is not None:
+            tm.count(f"fma.scalar.call.{p.name}")
+
         special = self._special_case(a, b, c)
         if special is not None:
+            if tm is not None:
+                tm.count("fma.scalar.special.nan" if special.is_nan
+                         else "fma.scalar.special.inf")
             return special
 
         t = trace if trace is not None else FmaTrace()
@@ -132,6 +140,8 @@ class CSFmaUnit:
         a_nonzero = a.is_normal and a_used != 0
 
         if not p_nonzero and not a_nonzero:
+            if tm is not None:
+                tm.count("fma.scalar.trivial_zero")
             sign = a.sign if a.is_zero else 0
             return CSFloat.zero(p, sign)
 
@@ -170,6 +180,8 @@ class CSFmaUnit:
             else:
                 # Product below the window (huge addend): floor-shift the
                 # collapsed product (documented modeling liberty).
+                if tm is not None:
+                    tm.count("fma.scalar.product_below_window")
                 mres = multiply_mantissa(
                     b.significand, p.b_sig_bits, c_tc, p.mant_width,
                     negate=bool(b.sign), round_up_c=bool(dec_c),
@@ -206,6 +218,8 @@ class CSFmaUnit:
         value = (window.sum + window.carry) & wmask
         t.window_sum, t.window_carry = window.sum, window.carry
         if value == 0:
+            if tm is not None:
+                tm.count("fma.scalar.cancel_to_zero")
             return CSFloat.zero(p)
 
         # --- stage 7: block normalization --------------------------------
@@ -222,6 +236,12 @@ class CSFmaUnit:
             # the slice's sign position and flip the result's sign.
             skipped = min(max(est - 1, 0) // p.block, max_skip)
         t.skipped_blocks = skipped
+        if tm is not None:
+            # which normalization path produced the block-skip decision
+            tm.count("fma.scalar.norm.zd" if self.selector == "zd"
+                     else "fma.scalar.norm.lza")
+            if skipped == max_skip:
+                tm.count("fma.scalar.norm.max_skip")
 
         j_top = p.window_blocks - 1 - skipped
         lo = p.block * (j_top - (p.mant_blocks - 1))
@@ -255,8 +275,12 @@ class CSFmaUnit:
         t.result_exp = e_r
         sign = 1 if (value >> (W - 1)) else 0
         if e_r > p.exp_max:
+            if tm is not None:
+                tm.count("fma.scalar.overflow")
             return CSFloat.inf(p, sign)
         if e_r < p.exp_min:
+            if tm is not None:
+                tm.count("fma.scalar.flush_to_zero")
             return CSFloat.zero(p, sign)  # flush-to-zero
 
         return CSFloat(p, FpClass.NORMAL, e_r, mant, rnd)

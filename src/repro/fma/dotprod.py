@@ -27,6 +27,7 @@ from typing import Sequence
 from ..fp.formats import BINARY64
 from ..fp.ops import fp_add, fp_fma, fp_mul, fp_sub
 from ..fp.value import FPValue
+from ..telemetry import core as _tm
 from .convert import cs_to_ieee, ieee_to_cs
 from .csfma import CSFmaUnit, FcsFmaUnit, PcsFmaUnit
 
@@ -59,6 +60,10 @@ class FusedDotProductUnit:
         """Fused inner product of two IEEE vectors."""
         if len(a) != len(b):
             raise ValueError("vector length mismatch")
+        tm = _tm.ACTIVE
+        if tm is not None:
+            tm.count("fma.dot.scalar.calls")
+            tm.count("fma.dot.scalar.elements", len(a))
         params = self.unit.params
         acc = ieee_to_cs(FPValue.zero(BINARY64), params)
         for ai, bi in zip(a, b):

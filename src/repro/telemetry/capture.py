@@ -1,0 +1,150 @@
+"""The standard capture workload behind ``python -m repro.telemetry``.
+
+:func:`capture_envelope` runs a fixed, seeded workload under one
+:func:`~repro.telemetry.core.collecting` session and packages the result
+as a JSON-serializable *envelope*::
+
+    {"schema": 1, "label": ..., "config": {...},
+     "metrics": {"dot@4096": ops_per_s, ...},
+     "snapshot": {...}}           # repro.telemetry.export format
+
+The workload has three parts:
+
+* a **coverage kit** of hand-picked scalar operands that drives every
+  branch in :data:`repro.telemetry.gates.REQUIRED_COVERAGE` -- all three
+  Fig. 10 ZD block classes, both normalization selectors, the
+  product-below-window / cancellation / overflow / flush window edges,
+  and the IEEE special cases;
+* **throughput probes** (``dot@4096`` and friends) timed with
+  ``perf_counter`` best-of-N, feeding the ``metrics`` section the
+  regression gate diffs;
+* a **miniature conformance sweep** plus a memo-stat publish, so the
+  runner/cache counters appear in the snapshot too.
+"""
+
+from __future__ import annotations
+
+import platform
+import random
+import time
+
+from ..fp import BINARY64, FPValue, double
+from .core import Telemetry, collecting
+from .export import SCHEMA_VERSION, snapshot_to_dict
+
+__all__ = ["capture_envelope", "run_coverage_kit", "make_vectors"]
+
+
+def make_vectors(n: int, seed: int = 0, spread: int = 40):
+    """Deterministic operand vectors with a wide exponent spread."""
+    rng = random.Random(seed)
+
+    def mk():
+        return double(rng.choice([-1, 1]) * rng.uniform(1.0, 2.0)
+                      * 2.0 ** rng.randint(-spread, spread))
+
+    return [mk() for _ in range(n)], [mk() for _ in range(n)]
+
+
+def run_coverage_kit() -> None:
+    """Exercise every gated scalar-datapath branch at least once."""
+    from ..fma import FcsFmaUnit, PcsFmaUnit, cs_to_ieee, ieee_to_cs
+
+    nan = FPValue.nan(BINARY64)
+    inf = FPValue.inf(BINARY64)
+    for unit in (PcsFmaUnit(), FcsFmaUnit()):
+        p = unit.params
+
+        def lift(x, p=p):
+            return ieee_to_cs(double(x), p)
+
+        # mixed-sign normals: ZD classes + both selectors + conversions
+        for a, b, c in [(2.0, 0.25, -3.5), (-1.5, 3.0, 7.0),
+                        (1e9, -2.0, 1e-9), (0.75, 0.5, -0.25)]:
+            cs_to_ieee(unit.fma(lift(a), double(b), lift(c)))
+        # product far below the addend window (Fig. 5 pre-shift limit)
+        unit.fma(lift(1e300), double(1e-30), lift(1e-30))
+        # exact cancellation: a + b*c == 0
+        unit.fma(lift(-6.0), double(2.0), lift(3.0))
+        # massive cancellation short of zero (max block skip)
+        unit.fma(lift(-1.0), double(1.0), lift(1.0 + 2.0 ** -50))
+        # exponent-range edges: the CS exponent field spans twice the
+        # binary64 range, so chain two FMAs -- the first result's wide
+        # exponent feeds the second multiply past exp_max / exp_min
+        big, tiny = 1.7976931348623157e308, 2.2250738585072014e-308
+        huge = unit.fma(lift(0.0), double(big), lift(big))
+        unit.fma(lift(0.0), double(2.0), huge)      # overflow -> inf
+        small = unit.fma(lift(0.0), double(tiny), lift(tiny))
+        unit.fma(lift(0.0), double(tiny), small)    # flush to zero
+        unit.fma(lift(0.0), double(0.0), lift(0.0))
+        # IEEE specials through the FloPoCo-style flag wires
+        unit.fma(lift(1.0), nan, lift(1.0))
+        unit.fma(lift(1.0), inf, lift(2.0))
+
+
+def _ops_per_s(fn, n_ops: int, *, repeats: int = 3) -> float:
+    """Best-of-``repeats`` throughput of ``fn`` in operations/second."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return n_ops / best if best > 0 else float("inf")
+
+
+def _throughput_metrics() -> dict[str, float]:
+    from ..batch import dot_batch, fma_batch, kernel_for
+    from ..fma import FcsFmaUnit, ieee_to_cs
+
+    unit = FcsFmaUnit()
+    kernel_for(unit)  # compile outside timing
+    a4, b4 = make_vectors(4096, seed=0)
+    a1, b1 = make_vectors(1024, seed=1)
+    c1 = [double(0.0)] * len(a1)
+    sa, sb = make_vectors(64, seed=2, spread=8)
+    acc0 = ieee_to_cs(double(0.0), unit.params)
+
+    def scalar_loop():
+        for x, y in zip(sa, sb):
+            unit.fma(acc0, x, ieee_to_cs(y, unit.params))
+
+    return {
+        "dot@4096": _ops_per_s(lambda: dot_batch(a4, b4, unit=unit), 4096),
+        "fma_batch@1024": _ops_per_s(
+            lambda: fma_batch(c1, a1, b1, unit=unit), 1024),
+        "scalar_fma@64": _ops_per_s(scalar_loop, 64),
+    }
+
+
+def capture_envelope(label: str = "", *, quick: bool = False,
+                     seed: int = 0) -> dict:
+    """Run the capture workload; return the envelope dict.
+
+    ``quick`` skips the conformance mini-sweep (the slowest part) --
+    used by tests that only need coverage + metrics.
+    """
+    from ..batch.memo import publish_cache_stats
+
+    with collecting(Telemetry()) as t:
+        run_coverage_kit()
+        metrics = _throughput_metrics()
+        if not quick:
+            from ..conformance import run_sweep
+            run_sweep(shards=2, workers=1, seed=seed, cases=8,
+                      use_cache=False)
+        publish_cache_stats()
+        snap = t.snapshot(label=label)
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "label": label,
+        "config": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "argv_seed": seed,
+            "quick": quick,
+        },
+        "metrics": metrics,
+        "snapshot": snapshot_to_dict(snap),
+    }

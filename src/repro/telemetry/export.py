@@ -1,0 +1,115 @@
+"""Snapshot serialization: canonical JSON and Prometheus text format.
+
+The JSON form is the storage/interchange format of the telemetry CLI
+(``BENCH_telemetry.json``) and the conformance/faults reports; the
+Prometheus text form is the scrape format a serving deployment would
+expose.  :func:`canonical_bytes` is the determinism contract: equal
+snapshots (in the merge-semantics sense) serialize to equal bytes, which
+is what the parallel-equals-serial property tests compare.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .snapshot import Snapshot, SpanStat
+
+__all__ = ["snapshot_to_dict", "snapshot_from_dict", "canonical_bytes",
+           "to_prometheus", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+def snapshot_to_dict(snap: Snapshot) -> dict:
+    """JSON-serializable form; keys are sorted, spans are 4-int lists
+    ``[count, total_ns, min_ns, max_ns]``."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "label": snap.label,
+        "counters": dict(sorted(snap.counters.items())),
+        "spans": {tag: stat.to_list()
+                  for tag, stat in sorted(snap.spans.items())},
+        "gauges": dict(sorted(snap.gauges.items())),
+        "events": list(snap.events),
+    }
+
+
+def snapshot_from_dict(d: dict) -> Snapshot:
+    schema = d.get("schema", SCHEMA_VERSION)
+    if schema != SCHEMA_VERSION:
+        raise ValueError(f"unsupported telemetry schema {schema!r}")
+    return Snapshot.build(
+        {str(k): int(v) for k, v in d.get("counters", {}).items()},
+        {str(k): SpanStat.from_list(v)
+         for k, v in d.get("spans", {}).items()},
+        {str(k): int(v) for k, v in d.get("gauges", {}).items()},
+        d.get("events", []),
+        label=str(d.get("label", "")),
+    )
+
+
+def canonical_bytes(snap: Snapshot) -> bytes:
+    """Deterministic byte serialization (sorted keys, no whitespace)."""
+    return json.dumps(snapshot_to_dict(snap), sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition format
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _labels(tag: str, extra: str = "") -> str:
+    body = f'tag="{_escape(tag)}"'
+    if extra:
+        body += "," + extra
+    return "{" + body + "}"
+
+
+def to_prometheus(snap: Snapshot, prefix: str = "repro") -> str:
+    """Render the snapshot in the Prometheus text exposition format.
+
+    Counters map to ``<prefix>_counter_total``, spans to a summary-style
+    triplet (``_span_seconds_count`` / ``_span_seconds_sum`` plus
+    min/max gauges), gauges to ``<prefix>_gauge``; trace events are
+    tallied per tag (their payloads are not a metrics concern).
+    """
+    lines: list[str] = []
+    if snap.counters:
+        lines.append(f"# TYPE {prefix}_counter_total counter")
+        for tag, n in sorted(snap.counters.items()):
+            lines.append(f"{prefix}_counter_total{_labels(tag)} {n}")
+    if snap.spans:
+        lines.append(f"# TYPE {prefix}_span_seconds summary")
+        for tag, stat in sorted(snap.spans.items()):
+            lab = _labels(tag)
+            lines.append(
+                f"{prefix}_span_seconds_count{lab} {stat.count}")
+            lines.append(
+                f"{prefix}_span_seconds_sum{lab} "
+                f"{stat.total_ns / 1e9:.9f}")
+        lines.append(f"# TYPE {prefix}_span_seconds_min gauge")
+        for tag, stat in sorted(snap.spans.items()):
+            lines.append(f"{prefix}_span_seconds_min{_labels(tag)} "
+                         f"{stat.min_ns / 1e9:.9f}")
+        lines.append(f"# TYPE {prefix}_span_seconds_max gauge")
+        for tag, stat in sorted(snap.spans.items()):
+            lines.append(f"{prefix}_span_seconds_max{_labels(tag)} "
+                         f"{stat.max_ns / 1e9:.9f}")
+    if snap.gauges:
+        lines.append(f"# TYPE {prefix}_gauge gauge")
+        for tag, v in sorted(snap.gauges.items()):
+            lines.append(f"{prefix}_gauge{_labels(tag)} {v}")
+    if snap.events:
+        tally: dict[str, int] = {}
+        for ev in snap.events:
+            tag = str(ev.get("tag", ""))
+            tally[tag] = tally.get(tag, 0) + 1
+        lines.append(f"# TYPE {prefix}_event_total counter")
+        for tag, n in sorted(tally.items()):
+            lines.append(f"{prefix}_event_total{_labels(tag)} {n}")
+    return "\n".join(lines) + ("\n" if lines else "")

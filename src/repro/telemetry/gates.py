@@ -1,0 +1,95 @@
+"""Coverage and regression gates over telemetry snapshots.
+
+Two gates share this module so the CLI (``python -m repro.telemetry``)
+and the test suite enforce exactly the same policy:
+
+* **Coverage gate** -- :data:`REQUIRED_COVERAGE` lists every datapath
+  branch the Fig. 10 Zero Detector taxonomy and the scalar FMA's
+  fast/slow normalization split can take.  A workload whose snapshot
+  leaves any of these counters at zero has a dead path: either the
+  vectors stopped exercising it or an edit made the branch unreachable.
+* **Regression gate** -- :func:`find_regressions` compares the
+  ``metrics`` section of two capture envelopes (throughput figures in
+  ops/s) and flags any metric that dropped by more than the allowed
+  fraction.  The CLI exits non-zero when the gate trips, so CI can diff
+  ``BENCH_telemetry.json`` against the previous run.
+"""
+
+from __future__ import annotations
+
+from .snapshot import Snapshot
+
+__all__ = ["REQUIRED_COVERAGE", "missing_coverage", "check_coverage",
+           "find_regressions", "format_regressions"]
+
+#: Counter tags that any full capture workload must drive at least once.
+#: One entry per architectural branch of the scalar CS-FMA datapath:
+#: the three Fig. 10 block classes, both normalization selectors, every
+#: window-edge branch, the IEEE special cases, and both conversion
+#: directions (``cs_to_ieee`` is the full/slow normalization path).
+REQUIRED_COVERAGE: tuple[str, ...] = (
+    "cs.zd.class.zero-value",
+    "cs.zd.class.all-ones",
+    "cs.zd.class.significant",
+    "fma.scalar.norm.zd",
+    "fma.scalar.norm.lza",
+    "fma.scalar.product_below_window",
+    "fma.scalar.cancel_to_zero",
+    "fma.scalar.flush_to_zero",
+    "fma.scalar.overflow",
+    "fma.scalar.special.nan",
+    "fma.scalar.special.inf",
+    "fma.convert.ieee_to_cs",
+    "fma.convert.cs_to_ieee",
+)
+
+
+def missing_coverage(snap: Snapshot,
+                     required: tuple[str, ...] = REQUIRED_COVERAGE,
+                     ) -> list[str]:
+    """Required counters the snapshot never incremented."""
+    return [tag for tag in required if snap.counter(tag) <= 0]
+
+
+def check_coverage(snap: Snapshot,
+                   required: tuple[str, ...] = REQUIRED_COVERAGE) -> None:
+    """Raise ``AssertionError`` naming every dead datapath branch."""
+    missing = missing_coverage(snap, required)
+    if missing:
+        raise AssertionError(
+            "datapath coverage gate failed; never exercised: "
+            + ", ".join(missing))
+
+
+def find_regressions(old: dict, new: dict, *,
+                     max_regression: float = 0.10) -> list[dict]:
+    """Metrics in ``new`` that regressed past the allowed fraction.
+
+    ``old``/``new`` are capture envelopes (see
+    :func:`repro.telemetry.capture.capture_envelope`); their ``metrics``
+    maps benchmark names to ops/s, so *lower is worse*.  Metrics present
+    on only one side are ignored -- adding or retiring a benchmark is
+    not a regression.
+    """
+    if not 0.0 <= max_regression < 1.0:
+        raise ValueError("max_regression must be in [0, 1)")
+    out = []
+    old_m = old.get("metrics", {})
+    new_m = new.get("metrics", {})
+    for name in sorted(set(old_m) & set(new_m)):
+        before, after = float(old_m[name]), float(new_m[name])
+        if before <= 0.0:
+            continue
+        drop = 1.0 - after / before
+        if drop > max_regression:
+            out.append({"metric": name, "old": before, "new": after,
+                        "drop": drop})
+    return out
+
+
+def format_regressions(regressions: list[dict]) -> str:
+    lines = []
+    for r in regressions:
+        lines.append(f"  {r['metric']}: {r['old']:.3g} -> {r['new']:.3g} "
+                     f"ops/s ({r['drop'] * 100.0:.1f}% slower)")
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Immutable telemetry snapshots and their deterministic merge.
+
+A :class:`Snapshot` is the frozen result of one collection region (or of
+merging several).  All aggregation state is integral so that merging is
+associative, commutative, and has :func:`Snapshot.empty` as identity --
+the property the conformance sweep relies on to aggregate per-shard
+snapshots into one report whose bytes do not depend on shard completion
+order (checked by ``tests/test_telemetry_property.py`` with Hypothesis).
+
+This module is dependency-free (stdlib only) and must stay importable
+from every datapath module without creating cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = ["SpanStat", "Snapshot", "merge_snapshots"]
+
+
+@dataclass(frozen=True)
+class SpanStat:
+    """Aggregated wall-time observations of one span tag.
+
+    Durations are integer nanoseconds (``time.perf_counter_ns``); the
+    four fields each merge associatively (sum, sum, min, max), so any
+    merge tree over any partition of the observations yields the same
+    stat.
+    """
+
+    count: int = 0
+    total_ns: int = 0
+    min_ns: int = 0
+    max_ns: int = 0
+
+    def merged(self, other: "SpanStat") -> "SpanStat":
+        if self.count == 0:
+            return other
+        if other.count == 0:
+            return self
+        return SpanStat(
+            count=self.count + other.count,
+            total_ns=self.total_ns + other.total_ns,
+            min_ns=min(self.min_ns, other.min_ns),
+            max_ns=max(self.max_ns, other.max_ns),
+        )
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+    def to_list(self) -> list[int]:
+        return [self.count, self.total_ns, self.min_ns, self.max_ns]
+
+    @classmethod
+    def from_list(cls, v: "list | tuple") -> "SpanStat":
+        c, t, lo, hi = (int(x) for x in v)
+        return cls(c, t, lo, hi)
+
+
+def _event_key(ev: Mapping) -> str:
+    """Canonical sort key of one trace event (stable across processes)."""
+    return json.dumps(ev, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One frozen telemetry aggregate.
+
+    ``events`` are stored canonically sorted (see :func:`_event_key`) so
+    two snapshots holding the same event *sets* compare equal regardless
+    of the order the events were recorded or merged in.
+    """
+
+    counters: "Mapping[str, int]" = field(default_factory=dict)
+    spans: "Mapping[str, SpanStat]" = field(default_factory=dict)
+    gauges: "Mapping[str, int]" = field(default_factory=dict)
+    events: tuple = ()
+    label: str = ""
+
+    @classmethod
+    def empty(cls, label: str = "") -> "Snapshot":
+        return cls({}, {}, {}, (), label)
+
+    @classmethod
+    def build(cls, counters: Mapping[str, int],
+              spans: Mapping[str, SpanStat], gauges: Mapping[str, int],
+              events: Iterable[Mapping], label: str = "") -> "Snapshot":
+        """Normalize mutable collection state into a canonical snapshot
+        (keys sorted, events canonically ordered, zero entries kept --
+        an explicitly-created zero counter documents a dead path)."""
+        return cls(
+            counters=dict(sorted(counters.items())),
+            spans=dict(sorted(spans.items())),
+            gauges=dict(sorted(gauges.items())),
+            events=tuple(sorted((dict(e) for e in events),
+                                key=_event_key)),
+            label=label,
+        )
+
+    def counter(self, tag: str) -> int:
+        return self.counters.get(tag, 0)
+
+    def span(self, tag: str) -> SpanStat:
+        return self.spans.get(tag, SpanStat())
+
+    def gauge(self, tag: str) -> int:
+        return self.gauges.get(tag, 0)
+
+    def merged(self, other: "Snapshot", label: "str | None" = None,
+               ) -> "Snapshot":
+        """Associative, commutative merge (see module docstring)."""
+        counters = dict(self.counters)
+        for tag, n in other.counters.items():
+            counters[tag] = counters.get(tag, 0) + n
+        spans = dict(self.spans)
+        for tag, stat in other.spans.items():
+            mine = spans.get(tag)
+            spans[tag] = stat if mine is None else mine.merged(stat)
+        gauges = dict(self.gauges)
+        for tag, v in other.gauges.items():
+            g = gauges.get(tag)
+            gauges[tag] = v if g is None else max(g, v)
+        if label is None:
+            # deterministic label union, independent of merge order and
+            # merge tree shape: split previously-merged labels back into
+            # their parts so the union is over atomic labels
+            parts: set[str] = set()
+            for lab in (self.label, other.label):
+                parts.update(p for p in lab.split(" | ") if p)
+            label = " | ".join(sorted(parts))
+        return Snapshot.build(counters, spans, gauges,
+                              list(self.events) + list(other.events),
+                              label)
+
+
+def merge_snapshots(snaps: Iterable[Snapshot],
+                    label: "str | None" = None) -> Snapshot:
+    """Fold any number of snapshots into one.
+
+    Because :meth:`Snapshot.merged` is associative and commutative, the
+    result is independent of both the iteration order and the shape of
+    the fold -- per-shard snapshots merged as they stream in equal the
+    serial run's single snapshot byte-for-byte.
+    """
+    out = Snapshot.empty()
+    for s in snaps:
+        out = out.merged(s, label=None)
+    if label is not None:
+        out = Snapshot(out.counters, out.spans, out.gauges, out.events,
+                       label)
+    return out

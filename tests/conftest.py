@@ -5,6 +5,7 @@ from __future__ import annotations
 import math
 import struct
 
+import pytest
 from hypothesis import HealthCheck, settings, strategies as st
 
 from repro.fp import BINARY64, FPValue
@@ -12,13 +13,60 @@ from repro.fp import BINARY64, FPValue
 # A leaner default profile so the full property suite stays fast; the
 # invariants here are exercised with hundreds of examples each, which in
 # practice has been enough to find every seeded bug.
+#
+# ``function_scoped_fixture`` is suppressed because the autouse
+# ``isolate_process_state`` fixture below runs around every test,
+# including @given ones; it resets process-global state once per test
+# function (not per example), which is exactly the intent.
 settings.register_profile(
     "repro",
     max_examples=60,
     deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
+    suppress_health_check=[HealthCheck.too_slow,
+                           HealthCheck.function_scoped_fixture],
 )
 settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True)
+def isolate_process_state(tmp_path, monkeypatch):
+    """Order-independence guard: no test leaks process-global state.
+
+    Three pieces of module-level state previously made test outcomes
+    depend on execution order:
+
+    * the ``lru_cache`` memos behind :func:`repro.hw` lookups -- a test
+      monkeypatching a device model could poison every later reader, and
+      cache-stat assertions depended on who warmed the cache first;
+    * the conformance :class:`ResultCache` default directory -- a shared
+      on-disk cache made sweep results bleed between tests (and between
+      whole pytest runs);
+    * the ``repro.probes`` / ``repro.telemetry`` arming globals -- a
+      test failing mid-``collecting`` region would leave instrumentation
+      armed for the rest of the session.
+
+    Each test now starts cold: hw memos cleared (re-warm is
+    sub-millisecond), the cache dir pointed into ``tmp_path``, and both
+    arming globals verified clean before *and* after.  A test that leaks
+    an armed collector fails itself rather than corrupting its
+    successors.
+    """
+    from repro import probes
+    from repro.batch.memo import clear_hw_caches
+    from repro.telemetry import core as _tm_core
+
+    clear_hw_caches()
+    monkeypatch.setenv("REPRO_CONFORMANCE_CACHE",
+                       str(tmp_path / "conformance-cache"))
+    assert probes.ARMED is None, "previous test leaked armed probes"
+    assert _tm_core.ACTIVE is None, "previous test leaked telemetry"
+    yield
+    leaked_probes = probes.ARMED is not None
+    leaked_tm = _tm_core.ACTIVE is not None
+    probes.ARMED = None
+    _tm_core.ACTIVE = None
+    assert not leaked_probes, "test leaked armed probes"
+    assert not leaked_tm, "test leaked an active telemetry collector"
 
 
 def bits_to_float(bits: int) -> float:

@@ -1,0 +1,104 @@
+"""Coverage-from-telemetry: the vector suites must light every datapath.
+
+Runs the golden hard-case vectors through both carry-save units with
+telemetry armed and asserts from the counters -- not from code-coverage
+tooling -- that every Fig. 10 Zero-Detector block class and both
+normalization paths (block-ZD fast path vs. full ``cs_to_ieee``
+normalization) were actually exercised.  A refactor that makes one of
+these branches unreachable, or a vector-file regeneration that stops
+hitting it, fails loudly here as a dead datapath.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import pytest
+
+from repro.fma import FcsFmaUnit, PcsFmaUnit, cs_to_ieee, ieee_to_cs
+from repro.fp import BINARY64, FPValue
+from repro.telemetry import collecting
+from repro.telemetry.capture import run_coverage_kit
+from repro.telemetry.gates import (REQUIRED_COVERAGE, check_coverage,
+                                   missing_coverage)
+
+VECTORS = Path(__file__).parent / "vectors" / "fma_hard_cases.json"
+
+#: Fig. 10 block classes of the PCS Zero Detector
+ZD_CLASSES = ("cs.zd.class.zero-value", "cs.zd.class.all-ones",
+              "cs.zd.class.significant")
+
+
+def _from_bits(word: str) -> FPValue:
+    x = struct.unpack("<d", struct.pack("<Q", int(word, 16)))[0]
+    return FPValue.from_float(x, BINARY64)
+
+
+@pytest.fixture(scope="module")
+def vector_snapshot():
+    """One armed pass of the golden vectors through both CS units."""
+    cases = json.loads(VECTORS.read_text())["cases"]
+    with collecting() as t:
+        for unit in (PcsFmaUnit(), FcsFmaUnit()):
+            for case in cases:
+                a, b, c = (_from_bits(case[k]) for k in "abc")
+                out = unit.fma(ieee_to_cs(a, unit.params), b,
+                               ieee_to_cs(c, unit.params))
+                if not (out.is_nan or out.is_inf):
+                    cs_to_ieee(out)
+    return t.snapshot(label="vectors")
+
+
+class TestVectorSuiteCoverage:
+    def test_every_zd_class_exercised(self, vector_snapshot):
+        dead = [tag for tag in ZD_CLASSES
+                if vector_snapshot.counter(tag) == 0]
+        assert not dead, (
+            f"golden vectors never produced ZD block classes {dead}: "
+            "the Fig. 10 taxonomy has a dead branch")
+
+    def test_both_normalization_paths_exercised(self, vector_snapshot):
+        # fast path: block-granular normalization inside the unit
+        assert vector_snapshot.counter("fma.scalar.norm.zd") > 0
+        assert vector_snapshot.counter("fma.scalar.norm.lza") > 0
+        # slow path: the full normalization in cs_to_ieee
+        assert vector_snapshot.counter("fma.convert.cs_to_ieee") > 0
+
+    def test_window_edge_branches_exercised(self, vector_snapshot):
+        # (exact cancellation to zero is not asserted here: the hard
+        # cases are near-ties by design; the CLI coverage kit owns it)
+        for tag in ("fma.scalar.product_below_window",
+                    "fma.scalar.trivial_zero",
+                    "fma.scalar.special.nan"):
+            assert vector_snapshot.counter(tag) > 0, (
+                f"hard-case vectors no longer reach {tag}")
+
+    def test_both_units_ran(self, vector_snapshot):
+        assert vector_snapshot.counter("fma.scalar.call.pcs") > 0
+        assert vector_snapshot.counter("fma.scalar.call.fcs") > 0
+
+
+class TestCoverageKit:
+    """The CLI capture workload must satisfy the full gate by itself."""
+
+    def test_kit_satisfies_required_coverage(self):
+        with collecting() as t:
+            run_coverage_kit()
+        snap = t.snapshot()
+        assert missing_coverage(snap) == []
+        check_coverage(snap)  # must not raise
+
+    def test_gate_fails_loudly_on_dead_path(self):
+        with collecting() as t:
+            run_coverage_kit()
+        snap = t.snapshot()
+        counters = dict(snap.counters)
+        del counters[REQUIRED_COVERAGE[0]]
+        from repro.telemetry import Snapshot
+        broken = Snapshot.build(counters, snap.spans, snap.gauges,
+                                snap.events)
+        with pytest.raises(AssertionError,
+                           match=REQUIRED_COVERAGE[0].replace(".", r"\.")):
+            check_coverage(broken)

@@ -1,0 +1,124 @@
+"""Telemetry must never change a result bit: armed == disarmed.
+
+Every instrumented datapath -- classic, PCS and FCS scalar units, the
+batched fast paths, and the fused dot product -- is run twice on
+identical operands, once with telemetry collecting and once disabled,
+and the outputs are compared bit-for-bit.  Observability that perturbs
+the observed value would invalidate every snapshot, so this is the
+subsystem's foundational safety property.  (The companion *performance*
+half of the guarantee -- <2% disabled-mode overhead -- lives in
+``benchmarks/test_telemetry_overhead.py``.)
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro.batch import accumulate_batch, dot_batch, fma_batch
+from repro.fma import FcsFmaUnit, PcsFmaUnit, cs_to_ieee, ieee_to_cs
+from repro.fma.classic import ClassicFmaUnit
+from repro.fma.dotprod import FusedDotProductUnit
+from repro.fp import BINARY64, FPValue, double
+from repro.telemetry import collecting
+
+UNITS = [PcsFmaUnit(), FcsFmaUnit()]
+unit_ids = ["pcs", "fcs"]
+
+
+def bits(v: FPValue) -> int:
+    return struct.unpack("<Q", struct.pack("<d", v.to_float()))[0]
+
+
+def operand_triples(n: int, seed: int = 7) -> list[tuple]:
+    rng = random.Random(seed)
+
+    def mk():
+        return double(rng.choice([-1, 1]) * rng.uniform(1.0, 2.0)
+                      * 2.0 ** rng.randint(-60, 60))
+
+    triples = [(mk(), mk(), mk()) for _ in range(n)]
+    # seed the edge branches too: specials, cancellation, huge addend
+    triples += [
+        (double(0.0), double(0.0), double(0.0)),
+        (double(-6.0), double(2.0), double(3.0)),
+        (double(1e300), double(1e-30), double(1e-30)),
+        (FPValue.nan(BINARY64), double(1.0), double(2.0)),
+        (double(1.0), FPValue.inf(BINARY64), double(2.0)),
+    ]
+    return triples
+
+
+class TestScalarBitIdentity:
+    @pytest.mark.parametrize("unit", UNITS, ids=unit_ids)
+    def test_cs_units(self, unit):
+        triples = operand_triples(64)
+
+        def run() -> list[int]:
+            out = []
+            for a, b, c in triples:
+                r = unit.fma(ieee_to_cs(a, unit.params), b,
+                             ieee_to_cs(c, unit.params))
+                out.append(bits(cs_to_ieee(r)))
+            return out
+
+        disarmed = run()
+        with collecting():
+            armed = run()
+        assert armed == disarmed
+
+    def test_classic_unit(self):
+        unit = ClassicFmaUnit(BINARY64)
+        triples = operand_triples(64, seed=11)
+        disarmed = [bits(unit.fma(a, b, c)) for a, b, c in triples]
+        with collecting():
+            armed = [bits(unit.fma(a, b, c)) for a, b, c in triples]
+        assert armed == disarmed
+
+
+class TestBatchBitIdentity:
+    @pytest.mark.parametrize("unit", UNITS, ids=unit_ids)
+    def test_dot_batch(self, unit):
+        triples = operand_triples(256, seed=3)
+        a = [t[0] for t in triples if not t[0].is_nan and not t[1].is_nan]
+        b = [t[1] for t in triples if not t[0].is_nan and not t[1].is_nan]
+        disarmed = bits(dot_batch(a, b, unit=unit))
+        with collecting():
+            armed = bits(dot_batch(a, b, unit=unit))
+        assert armed == disarmed
+
+    @pytest.mark.parametrize("unit", UNITS, ids=unit_ids)
+    def test_fma_batch(self, unit):
+        triples = operand_triples(128, seed=5)
+        a, b, c = (list(x) for x in zip(*triples))
+        disarmed = [bits(cs_to_ieee(r))
+                    for r in fma_batch(a, b, c, unit=unit)]
+        with collecting():
+            armed = [bits(cs_to_ieee(r))
+                     for r in fma_batch(a, b, c, unit=unit)]
+        assert armed == disarmed
+
+    def test_accumulate_batch(self):
+        # narrow exponent spread: the [12]-style MAC window is bounded
+        rng = random.Random(9)
+        a = [double(rng.uniform(-2.0, 2.0) * 2.0 ** rng.randint(-20, 20))
+             for _ in range(64)]
+        b = [double(rng.uniform(-2.0, 2.0) * 2.0 ** rng.randint(-20, 20))
+             for _ in range(64)]
+        disarmed = bits(accumulate_batch(a, b).result())
+        with collecting():
+            armed = bits(accumulate_batch(a, b).result())
+        assert armed == disarmed
+
+    @pytest.mark.parametrize("unit", UNITS, ids=unit_ids)
+    def test_fused_dot_unit(self, unit):
+        triples = operand_triples(64, seed=13)
+        a = [t[0] for t in triples if not t[0].is_nan and not t[1].is_nan]
+        b = [t[1] for t in triples if not t[0].is_nan and not t[1].is_nan]
+        fdp = FusedDotProductUnit(unit)
+        disarmed = bits(fdp.dot(a, b))
+        with collecting():
+            armed = bits(fdp.dot(a, b))
+        assert armed == disarmed

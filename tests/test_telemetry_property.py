@@ -1,0 +1,115 @@
+"""Property tests: telemetry aggregation is merge-order independent.
+
+The parallel runners (conformance shards, resilient fault campaigns)
+merge per-worker snapshots in whatever order workers finish.  These
+Hypothesis properties pin the algebra that makes that safe: snapshot
+merge is associative and commutative with the empty snapshot as
+identity, so *any* merge tree over *any* permutation of the per-shard
+snapshots serializes to the same canonical bytes as the serial run.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.telemetry import (Snapshot, SpanStat, Telemetry, canonical_bytes,
+                             merge_snapshots)
+
+TAGS = st.sampled_from(["a", "b", "c", "fma.scalar.norm.zd",
+                        "conformance.shard"])
+
+counters_st = st.dictionaries(TAGS, st.integers(0, 1 << 40), max_size=4)
+gauges_st = st.dictionaries(TAGS, st.integers(0, 1 << 40), max_size=4)
+events_st = st.lists(
+    st.fixed_dictionaries({"tag": TAGS, "n": st.integers(0, 9)}),
+    max_size=4)
+
+
+@st.composite
+def span_stats(draw) -> SpanStat:
+    durations = draw(st.lists(st.integers(0, 10 ** 12),
+                              min_size=1, max_size=5))
+    return SpanStat(len(durations), sum(durations), min(durations),
+                    max(durations))
+
+
+spans_st = st.dictionaries(TAGS, span_stats(), max_size=3)
+
+
+@st.composite
+def snapshots(draw) -> Snapshot:
+    return Snapshot.build(draw(counters_st), draw(spans_st),
+                          draw(gauges_st), draw(events_st),
+                          label=draw(st.sampled_from(["", "s0", "s1"])))
+
+
+def bytes_of(s: Snapshot) -> bytes:
+    return canonical_bytes(s)
+
+
+class TestMergeAlgebra:
+    @given(snapshots())
+    def test_empty_is_identity(self, s):
+        assert bytes_of(s.merged(Snapshot.empty())) == bytes_of(s)
+        assert bytes_of(Snapshot.empty().merged(s)) == bytes_of(s)
+
+    @given(snapshots(), snapshots())
+    def test_commutative(self, a, b):
+        assert bytes_of(a.merged(b)) == bytes_of(b.merged(a))
+
+    @given(snapshots(), snapshots(), snapshots())
+    def test_associative(self, a, b, c):
+        assert (bytes_of(a.merged(b).merged(c))
+                == bytes_of(a.merged(b.merged(c))))
+
+    @given(st.lists(snapshots(), max_size=6), st.randoms())
+    def test_any_permutation_any_fold_equals_serial(self, snaps, rnd):
+        serial = bytes_of(merge_snapshots(snaps))
+        shuffled = list(snaps)
+        rnd.shuffle(shuffled)
+        # left fold over the shuffled order
+        assert bytes_of(merge_snapshots(shuffled)) == serial
+        # balanced binary fold (the shape a worker pool produces)
+        work = [Snapshot.empty()] + shuffled
+        while len(work) > 1:
+            work = [work[i].merged(work[i + 1])
+                    if i + 1 < len(work) else work[i]
+                    for i in range(0, len(work), 2)]
+        assert bytes_of(
+            Snapshot(work[0].counters, work[0].spans, work[0].gauges,
+                     work[0].events, merge_snapshots(shuffled).label)
+        ) == serial
+
+
+class TestSpanStatAlgebra:
+    @given(span_stats(), span_stats(), span_stats())
+    def test_associative(self, a, b, c):
+        assert a.merged(b).merged(c) == a.merged(b.merged(c))
+
+    @given(span_stats(), span_stats())
+    def test_commutative(self, a, b):
+        assert a.merged(b) == b.merged(a)
+
+    @given(span_stats())
+    def test_identity(self, s):
+        assert s.merged(SpanStat()) == s
+        assert SpanStat().merged(s) == s
+
+
+class TestSplitWorkloadEqualsWhole:
+    """Recording N observations split across K collectors, then merging,
+    equals recording them all in one collector -- the concrete guarantee
+    the sharded runners rely on."""
+
+    @given(st.lists(st.tuples(TAGS, st.integers(1, 100)),
+                    min_size=1, max_size=20),
+           st.integers(2, 4), st.randoms())
+    def test_sharded_counting(self, increments, k, rnd):
+        whole = Telemetry()
+        shards = [Telemetry() for _ in range(k)]
+        for tag, n in increments:
+            whole.count(tag, n)
+            rnd.choice(shards).count(tag, n)
+        merged = merge_snapshots(s.snapshot() for s in shards)
+        assert (bytes_of(merged) == bytes_of(whole.snapshot()))
