@@ -380,7 +380,10 @@ def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.conformance",
         description="Sharded differential conformance sweep of the FMA "
-                    "datapaths against their faithful oracles.")
+                    "datapaths against their faithful oracles.",
+        epilog="exit status: 0 = sweep clean (or a listing was "
+               "printed); 1 = mismatches, failed shards, or a failed "
+               "mutation check; 2 = bad arguments.")
     parser.add_argument("--shards", type=int, default=8)
     parser.add_argument("--workers", type=int, default=None,
                         help="pool size (default: cpu count; 1 = inline)")
@@ -411,6 +414,21 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="inject every fault and assert detection")
     parser.add_argument("--list-mutations", action="store_true")
     args = parser.parse_args(argv)
+
+    # semantic argument validation fails with the argparse convention
+    # (exit 2 + usage on stderr), distinct from runtime failures (1)
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.cases < 1:
+        parser.error("--cases must be >= 1")
+    if args.workers is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.shard_timeout <= 0:
+        parser.error("--shard-timeout must be positive")
+    if args.retries < 1:
+        parser.error("--retries must be >= 1")
+    if args.repro is not None and not 0 <= args.repro < args.shards:
+        parser.error(f"--repro shard must be in [0, {args.shards})")
 
     if args.list_mutations:
         for name in sorted(mutation_mod.MUTATIONS):

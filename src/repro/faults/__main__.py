@@ -9,8 +9,10 @@ coverage report with the per-class SDC-rate table.  Typical uses::
     python -m repro.faults --classes pcs,batch --workers 4
     python -m repro.faults --checkpoint camp.jsonl --resume
 
-Exit status is 0 when the campaign completed every planned injection,
-1 on configuration errors.
+Exit status is 0 when the campaign completed every planned injection
+(and on ``--help``/``--list-sites``), 1 when the campaign could not
+complete, and 2 on bad arguments (the argparse convention: usage goes
+to stderr).
 """
 
 from __future__ import annotations
@@ -32,7 +34,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.faults",
         description="Transient-fault (SEU) injection campaign over the "
                     "carry-save FMA datapaths and their structural "
-                    "artifacts.")
+                    "artifacts.",
+        epilog="exit status: 0 = campaign complete (or listing "
+               "printed); 1 = campaign incomplete; 2 = bad arguments.")
     ap.add_argument("--seed", type=int, default=0,
                     help="campaign seed (default 0); same seed, same "
                          "report, byte for byte")
@@ -70,16 +74,30 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.list_sites:
         for name in sorted(SITES):
             s = SITES[name]
             print(f"{name:<26} [{s.site_class}/{s.stage}] "
                   f"{s.description or s.kind}")
         return 0
+    # bad arguments exit 2 (argparse convention), distinct from a
+    # campaign that ran but could not complete (1)
+    if args.injections < 1:
+        parser.error("--injections must be >= 1")
+    if args.operands < 1:
+        parser.error("--operands must be >= 1")
+    if not 0.0 <= args.multi_bit <= 1.0:
+        parser.error("--multi-bit must be in [0, 1]")
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.timeout <= 0:
+        parser.error("--timeout must be positive")
+    if args.retries < 1:
+        parser.error("--retries must be >= 1")
     if args.resume and not args.checkpoint:
-        print("--resume requires --checkpoint", file=sys.stderr)
-        return 1
+        parser.error("--resume requires --checkpoint")
     try:
         config = CampaignConfig(
             seed=args.seed, injections=args.injections,
@@ -87,8 +105,7 @@ def main(argv: list[str] | None = None) -> int:
             sites=args.sites, classes=args.classes)
         select_sites(config.sites, config.classes)  # validate filters
     except (KeyError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        parser.error(str(exc))
     report = run_campaign(config, workers=args.workers,
                           checkpoint=args.checkpoint, resume=args.resume,
                           timeout_s=args.timeout,

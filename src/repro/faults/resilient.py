@@ -166,15 +166,19 @@ def run_resilient(fn, items, *, workers: int | None = None,
                   timeout_s: float | None = None,
                   retry: RetryPolicy | None = None,
                   serial_fallback_after: int = 2,
-                  rng_seed: int = 0) -> ResilientRun:
+                  rng_seed: int = 0,
+                  always_pool: bool = False) -> ResilientRun:
     """Run ``fn`` over ``items`` with timeouts, retry, and pool recovery.
 
     ``workers=None`` uses ``os.cpu_count()``; ``workers<=1`` (or a
     single item) runs everything inline from the start, still with
     retry.  ``timeout_s`` bounds one attempt of one item (pool mode
     only -- the serial path cannot preempt a hung call and records
-    that limitation in the run's events).  Results preserve item
-    order; the run never raises for item failures.
+    that limitation in the run's events).  ``always_pool=True`` keeps
+    even a single-item run in the process pool so it gets the full
+    timeout/respawn treatment (the serving layer's per-batch isolation
+    mode needs exactly that).  Results preserve item order; the run
+    never raises for item failures.
     """
     policy = retry if retry is not None else RetryPolicy()
     if policy.max_attempts < 1:
@@ -190,7 +194,7 @@ def run_resilient(fn, items, *, workers: int | None = None,
     wants_attempt = _accepts_attempt(fn)
     attempts = [0] * n
     pending: deque[int] = deque(range(n))
-    serial = workers <= 1 or n <= 1
+    serial = workers <= 1 or (n <= 1 and not always_pool)
     if serial:
         run.serial_fallback = False  # inline by request, not degradation
     pool: ProcessPoolExecutor | None = None

@@ -1,0 +1,42 @@
+"""Async micro-batching FMA serving layer (docs/SERVING.md).
+
+Turns the batched carry-save kernels into a request-serving path:
+
+* :class:`~repro.serve.server.FmaServer` -- in-process asyncio API
+  (``submit`` / ``drain``) plus a TCP/JSON-lines frontend
+  (``serve_tcp``; CLI: ``python -m repro.serve``);
+* :class:`~repro.serve.server.ServeConfig` -- micro-batch, worker-pool
+  and overload-policy knobs;
+* :mod:`~repro.serve.protocol` -- the wire model (binary64 bit words,
+  structured ``ok``/``rejected``/``error`` responses);
+* :mod:`~repro.serve.loadgen` -- seeded open-loop load generation.
+
+Guarantees: every admitted request gets exactly one response, results
+are bit-identical to calling the engines directly for any batch split
+and arrival order, and overload is shed with structured rejections
+instead of unbounded queueing.
+"""
+
+from .admission import AdmissionController
+from .batcher import Entry, MicroBatcher
+from .executor import BatchExecutor, execute_payload, reference_result
+from .loadgen import (LoadReport, LoadSpec, make_requests, percentile,
+                      run_open_loop)
+from .protocol import (OPS, REJECT_REASONS, ProtocolError, Request,
+                       Response, decode_request, decode_response,
+                       encode_request, encode_response, hex_to_word,
+                       word_to_hex)
+from .server import FmaServer, ServeConfig
+
+__all__ = [
+    "FmaServer", "ServeConfig",
+    "Request", "Response", "ProtocolError",
+    "OPS", "REJECT_REASONS",
+    "encode_request", "decode_request",
+    "encode_response", "decode_response",
+    "word_to_hex", "hex_to_word",
+    "MicroBatcher", "Entry", "AdmissionController",
+    "BatchExecutor", "execute_payload", "reference_result",
+    "LoadSpec", "LoadReport", "make_requests", "run_open_loop",
+    "percentile",
+]

@@ -1,0 +1,76 @@
+"""Overload policy: bounded queues plus slow-start admission control.
+
+The server tracks one global ``pending`` count (queued + in-flight
+requests).  Admission is governed by two limits:
+
+* ``max_pending`` -- the hard queue bound; beyond it every request is
+  rejected with reason ``queue-full``;
+* an **admission window** that slow-starts: it opens at
+  ``initial_window`` and grows by the batch size on every successfully
+  completed batch (TCP-style: each in-flight "round trip" roughly
+  doubles the window) up to ``max_pending``.  Any execution failure or
+  deadline shed halves it, never below ``min_window``.  Requests beyond
+  the current window are rejected with reason ``slow-start`` -- the
+  structured backpressure signal that tells a well-behaved client to
+  ease off while the server warms up or recovers.
+
+The controller is plain synchronous state; the asyncio server calls it
+only from the event-loop thread, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AdmissionController"]
+
+
+@dataclass
+class AdmissionController:
+    max_pending: int = 1024
+    initial_window: int = 64
+    min_window: int = 8
+    slow_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.min_window < 1:
+            raise ValueError("min_window must be >= 1")
+        # the window floor can never exceed the hard bound
+        self.min_window = min(self.min_window, self.max_pending)
+        self.pending = 0
+        self.window = (float(min(self.initial_window, self.max_pending))
+                       if self.slow_start else float(self.max_pending))
+
+    # -- admission -----------------------------------------------------
+
+    def try_admit(self, n: int = 1) -> str | None:
+        """Admit ``n`` pending slots; returns a rejection reason or
+        ``None`` on success."""
+        if self.pending + n > self.max_pending:
+            return "queue-full"
+        if self.slow_start and self.pending + n > self.window:
+            return "slow-start"
+        self.pending += n
+        return None
+
+    def release(self, n: int = 1) -> None:
+        """A request left the system (response sent, any status)."""
+        self.pending -= n
+        if self.pending < 0:  # defensive: never go negative
+            self.pending = 0
+
+    # -- feedback ------------------------------------------------------
+
+    def on_batch_ok(self, batch_size: int) -> None:
+        """Successful batch completion widens the window additively by
+        the batch size (≈ doubling per full in-flight window)."""
+        if self.slow_start and self.window < self.max_pending:
+            self.window = min(float(self.max_pending),
+                              self.window + batch_size)
+
+    def on_failure(self) -> None:
+        """Execution failure or deadline shed halves the window."""
+        if self.slow_start:
+            self.window = max(float(self.min_window), self.window / 2.0)

@@ -1,0 +1,200 @@
+"""Batch execution for the serving layer.
+
+The unit of execution is a **payload**: one coalesced micro-batch of
+same-``(op, fmt)`` requests, flattened to plain ints so it crosses a
+process boundary cheaply.  :func:`execute_payload` is the module-level
+(picklable) work function; :class:`BatchExecutor` routes every payload
+through :func:`repro.faults.resilient.run_resilient`, so one shared
+recovery policy covers the whole repo:
+
+* ``isolation="inline"`` (default): the payload runs in the calling
+  (worker-pool) thread -- ``run_resilient`` still provides bounded
+  retry with backoff and structured failure records;
+* ``isolation="process"``: the payload runs in a child process with the
+  full per-attempt wall-clock timeout, hung-worker reclaim and
+  broken-pool respawn machinery (slower: a pool is spawned per payload;
+  meant for untrusted/long batches, and for the resilience tests).
+
+Failures are two-level by design.  A *request* that cannot be computed
+(accumulator overflow, malformed operands) yields a per-item error
+record inside an otherwise successful payload -- it never fails its
+batchmates and is never retried.  Only *infrastructure* failures (hang,
+crash, worker death) fail the payload and engage retry; after the last
+attempt every request in the batch gets a structured ``error`` response
+carrying the resilient error record's ``kind``.
+"""
+
+from __future__ import annotations
+
+from ..batch import dot_batch, fma_batch
+from ..fma.accumulator import PcsAccumulator
+from ..fma.classic import ClassicFmaUnit
+from ..fma.convert import cs_to_ieee, ieee_to_cs
+from ..fma.csfma import FcsFmaUnit, PcsFmaUnit
+from ..fma.dotprod import FusedDotProductUnit
+from ..fp.formats import BINARY64
+from ..faults.resilient import RetryPolicy, run_resilient
+from .protocol import Request, fp_to_word, word_to_fp
+
+__all__ = ["execute_payload", "reference_result", "BatchExecutor",
+           "payload_from_requests"]
+
+
+def _units():
+    """Per-process unit singletons (compiled kernels are cached per
+    params, so workers pay the warm-up once)."""
+    global _UNIT_CACHE
+    try:
+        return _UNIT_CACHE
+    except NameError:
+        _UNIT_CACHE = {"classic": ClassicFmaUnit(BINARY64),
+                       "pcs": PcsFmaUnit(), "fcs": FcsFmaUnit()}
+        return _UNIT_CACHE
+
+
+def payload_from_requests(op: str, fmt: str, requests: "list[Request]",
+                          use_batch: bool = True) -> dict:
+    """Flatten one coalesced batch into a picklable payload dict."""
+    return {"op": op, "fmt": fmt, "use_batch": use_batch,
+            "items": [(r.a, r.b, r.c) for r in requests]}
+
+
+def _exec_fma(fmt: str, items, use_batch: bool) -> list:
+    unit = _units()[fmt]
+    if fmt == "classic":
+        out = []
+        for a, b, c in items:
+            r = unit.fma(word_to_fp(a), word_to_fp(b), word_to_fp(c))
+            out.append(("ok", fp_to_word(r)))
+        return out
+    a = [word_to_fp(w) for w, _b, _c in items]
+    b = [word_to_fp(w) for _a, w, _c in items]
+    c = [word_to_fp(w) for _a, _b, w in items]
+    results = fma_batch(a, b, c, unit=unit, use_batch=use_batch)
+    return [("ok", fp_to_word(cs_to_ieee(r))) for r in results]
+
+
+def _exec_dot(fmt: str, items, use_batch: bool) -> list:
+    unit = _units()[fmt]
+    out = []
+    for aw, bw, _c in items:
+        a = [word_to_fp(w) for w in aw]
+        b = [word_to_fp(w) for w in bw]
+        out.append(("ok", fp_to_word(dot_batch(
+            a, b, unit=unit, use_batch=use_batch))))
+    return out
+
+
+def _exec_acc(items, use_batch: bool) -> list:
+    from ..batch import accumulate_batch
+
+    out = []
+    for aw, bw, _c in items:
+        a = [word_to_fp(w) for w in aw]
+        b = [word_to_fp(w) for w in bw]
+        try:
+            acc = accumulate_batch(a, b, use_batch=use_batch)
+            out.append(("ok", fp_to_word(acc.result())))
+        except ArithmeticError as exc:
+            out.append(("error", "exception",
+                        f"{type(exc).__name__}: {exc}"))
+    return out
+
+
+def execute_payload(payload: dict) -> list:
+    """Execute one payload; returns one record per item, in order.
+
+    Records are ``("ok", result_word)`` or
+    ``("error", kind, message)``.  Request-level failures are captured
+    per item; anything else propagates (and becomes an infrastructure
+    failure handled by the resilient wrapper).
+    """
+    op = payload["op"]
+    fmt = payload["fmt"]
+    items = payload["items"]
+    use_batch = payload.get("use_batch", True)
+    if op == "fma":
+        return _exec_fma(fmt, items, use_batch)
+    if op == "dot":
+        return _exec_dot(fmt, items, use_batch)
+    if op == "acc":
+        return _exec_acc(items, use_batch)
+    raise ValueError(f"unknown op {op!r}")
+
+
+def reference_result(req: Request) -> "tuple":
+    """The oracle for one request: the faithful scalar models, no batch
+    kernels, no serving layer.  Differential tests compare every served
+    response against this, bit for bit."""
+    units = _units()
+    if req.op == "fma":
+        if req.fmt == "classic":
+            r = units["classic"].fma(word_to_fp(req.a), word_to_fp(req.b),
+                                     word_to_fp(req.c))
+            return ("ok", fp_to_word(r))
+        unit = units[req.fmt]
+        r = unit.fma(ieee_to_cs(word_to_fp(req.a), unit.params),
+                     word_to_fp(req.b),
+                     ieee_to_cs(word_to_fp(req.c), unit.params))
+        return ("ok", fp_to_word(cs_to_ieee(r)))
+    a = [word_to_fp(w) for w in req.a]
+    b = [word_to_fp(w) for w in req.b]
+    if req.op == "dot":
+        return ("ok",
+                fp_to_word(FusedDotProductUnit(units[req.fmt]).dot(a, b)))
+    acc = PcsAccumulator()
+    try:
+        for ai, bi in zip(a, b):
+            acc.accumulate(ai, bi)
+    except ArithmeticError as exc:
+        return ("error", "exception", f"{type(exc).__name__}: {exc}")
+    return ("ok", fp_to_word(acc.result()))
+
+
+# ---------------------------------------------------------------------------
+
+
+class BatchExecutor:
+    """Synchronous payload runner with the shared recovery policy.
+
+    One instance is owned by the server and invoked from its bounded
+    worker-pool threads; :meth:`run` blocks the calling thread, never
+    the event loop.  ``work_fn`` is injectable (module-level picklable
+    callable) so the resilience tests can substitute hanging or
+    crashing workloads without touching the datapath.
+    """
+
+    def __init__(self, *, isolation: str = "inline",
+                 timeout_s: float | None = None,
+                 retry: RetryPolicy | None = None,
+                 rng_seed: int = 0, work_fn=None):
+        if isolation not in ("inline", "process"):
+            raise ValueError("isolation must be 'inline' or 'process'")
+        self.isolation = isolation
+        self.timeout_s = timeout_s
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=2, backoff_base_s=0.001, backoff_cap_s=0.01)
+        self.rng_seed = rng_seed
+        self.work_fn = work_fn if work_fn is not None else execute_payload
+        self._calls = 0
+
+    def run(self, payload: dict) -> "tuple[list | None, dict | None, int]":
+        """Run one payload; returns ``(records, error, attempts)``.
+
+        Exactly one of ``records``/``error`` is ``None``; ``error`` is
+        the structured record from :class:`~repro.faults.resilient.
+        WorkResult` (``kind`` = timeout / worker-died / exception).
+        """
+        self._calls += 1
+        process = self.isolation == "process"
+        run = run_resilient(
+            self.work_fn, [payload],
+            workers=2 if process else 1,
+            timeout_s=self.timeout_s if process else None,
+            retry=self.retry,
+            rng_seed=self.rng_seed + self._calls,
+            always_pool=process)
+        result = run.results[0]
+        if result.ok:
+            return result.value, None, result.attempts
+        return None, result.error or {"kind": "lost"}, result.attempts

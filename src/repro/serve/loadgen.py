@@ -1,0 +1,142 @@
+"""Seeded open-loop load generation for tests and benchmarks.
+
+An *open-loop* generator submits request ``i`` at its scheduled offset
+``i / rate_hz`` (plus seeded jitter) regardless of whether earlier
+responses have arrived -- the arrival process does not slow down when
+the server does, which is what makes overload behaviour observable.
+Workloads are pure functions of the seed: the same
+:class:`LoadSpec` always produces the same request stream, so latency
+and loss numbers are comparable across runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+
+from ..fp.formats import BINARY64
+from ..fp.value import FPValue
+from .protocol import Request, Response, fp_to_word
+from .server import FmaServer
+
+__all__ = ["LoadSpec", "LoadReport", "make_requests", "run_open_loop",
+           "percentile"]
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One reproducible workload."""
+
+    n_requests: int = 1000
+    rate_hz: float = 20000.0         # arrival rate (open loop)
+    seed: int = 0
+    jitter: float = 0.2              # +- fraction of the inter-arrival
+    #: (op, fmt, weight); vector ops draw lengths from ``vec_len``.
+    mix: tuple = (("fma", "pcs", 4), ("fma", "fcs", 2),
+                  ("fma", "classic", 2), ("dot", "fcs", 1),
+                  ("acc", "pcs", 1))
+    vec_len: tuple[int, int] = (4, 16)
+    exp_spread: int = 24             # operand exponent spread
+    timeout_s: float | None = None   # per-request budget
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run."""
+
+    responses: dict = field(default_factory=dict)   # req_id -> Response
+    duplicates: list = field(default_factory=list)
+    latencies_s: list = field(default_factory=list)  # admitted ok/error
+    wall_s: float = 0.0
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for r in self.responses.values() if r.ok)
+
+    @property
+    def n_rejected(self) -> int:
+        return sum(1 for r in self.responses.values()
+                   if r.status == "rejected")
+
+    @property
+    def n_error(self) -> int:
+        return sum(1 for r in self.responses.values()
+                   if r.status == "error")
+
+    def throughput(self) -> float:
+        return self.n_ok / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def percentile(values: list[float], p: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(p / 100.0 * len(ordered))) - 1))
+    return ordered[rank]
+
+
+def _word(rng: random.Random, spread: int) -> int:
+    x = (rng.choice([-1.0, 1.0]) * rng.uniform(1.0, 2.0)
+         * 2.0 ** rng.randint(-spread, spread))
+    return fp_to_word(FPValue.from_float(x, BINARY64))
+
+
+def make_requests(spec: LoadSpec) -> "list[tuple[float, Request]]":
+    """The deterministic request stream: ``(arrival_offset_s, request)``
+    pairs in submission order."""
+    rng = random.Random(spec.seed)
+    weighted = [(op, fmt) for op, fmt, w in spec.mix for _ in range(w)]
+    period = 1.0 / spec.rate_hz if spec.rate_hz > 0 else 0.0
+    out = []
+    offset = 0.0
+    for i in range(spec.n_requests):
+        op, fmt = rng.choice(weighted)
+        if op == "fma":
+            req = Request(req_id=i, op=op, fmt=fmt,
+                          a=_word(rng, spec.exp_spread),
+                          b=_word(rng, spec.exp_spread),
+                          c=_word(rng, spec.exp_spread),
+                          timeout_s=spec.timeout_s)
+        else:
+            n = rng.randint(*spec.vec_len)
+            req = Request(
+                req_id=i, op=op, fmt=fmt,
+                a=tuple(_word(rng, spec.exp_spread) for _ in range(n)),
+                b=tuple(_word(rng, spec.exp_spread) for _ in range(n)),
+                timeout_s=spec.timeout_s)
+        out.append((offset, req))
+        offset += period * (1.0 + spec.jitter * (2 * rng.random() - 1))
+    return out
+
+
+async def run_open_loop(server: FmaServer, spec: LoadSpec,
+                        ) -> LoadReport:
+    """Drive ``server`` with the spec's stream; collect every response.
+
+    Submission times follow the schedule (open loop); responses are
+    recorded as they land, flagging duplicates (the differential tests
+    assert there are none and nothing is lost).
+    """
+    loop = asyncio.get_running_loop()
+    report = LoadReport()
+    stream = make_requests(spec)
+    t_start = loop.time()
+
+    async def one(offset: float, req: Request) -> None:
+        delay = (t_start + offset) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        t0 = loop.time()
+        resp: Response = await server.submit(req)
+        if req.req_id in report.responses:
+            report.duplicates.append(req.req_id)
+        report.responses[req.req_id] = resp
+        if resp.status != "rejected":
+            report.latencies_s.append(loop.time() - t0)
+
+    await asyncio.gather(*(one(off, req) for off, req in stream))
+    report.wall_s = loop.time() - t_start
+    return report

@@ -28,6 +28,10 @@ from repro.conformance.runner import main
 from repro.conformance.workunits import Case, load_golden_cases
 from repro.fma import FcsFmaUnit, PcsFmaUnit, cs_to_ieee, ieee_to_cs
 
+# pools / armed collectors are process-global: never run
+# these concurrently with other tests (xdist, future runners)
+pytestmark = pytest.mark.serial
+
 SPEC = dict(num_shards=3, seed=11, cases=8)
 
 

@@ -19,6 +19,10 @@ from repro.faults.campaign import (CampaignConfig, load_checkpoint,
                                    run_campaign, run_injection)
 from repro.faults.sites import SITE_CLASSES, SITES, select_sites
 
+# pools / armed collectors are process-global: never run
+# these concurrently with other tests (xdist, future runners)
+pytestmark = pytest.mark.serial
+
 SMALL = CampaignConfig(seed=11, injections=66, operands=8)
 
 
@@ -162,7 +166,15 @@ def test_cli_list_sites_and_small_run(tmp_path, capsys):
 
 
 def test_cli_rejects_bad_filters(capsys):
+    """Bad arguments exit 2 (argparse convention), not the runtime 1;
+    the full exit-code contract lives in test_cli_exit_codes.py."""
+    import pytest
+
     from repro.faults.__main__ import main
 
-    assert main(["--classes", "bogus"]) == 1
-    assert main(["--resume"]) == 1
+    with pytest.raises(SystemExit) as exc:
+        main(["--classes", "bogus"])
+    assert exc.value.code == 2
+    with pytest.raises(SystemExit) as exc:
+        main(["--resume"])
+    assert exc.value.code == 2

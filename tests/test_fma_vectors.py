@@ -55,12 +55,15 @@ class TestVectorFile:
         assert len(CASES) >= 250
         categories = {c["category"] for c in CASES}
         assert {"double-rounding", "cancellation", "window-edge",
-                "subnormal-window-edge", "nan-propagation"} <= categories
+                "subnormal-window-edge", "nan-propagation",
+                "metamorphic"} <= categories
         # the extension categories carry real volume, not a token case
         assert sum(c["category"] == "subnormal-window-edge"
                    for c in CASES) >= 30
         assert sum(c["category"] == "nan-propagation"
                    for c in CASES) >= 15
+        assert sum(c["category"] == "metamorphic"
+                   for c in CASES) >= 12
         assert len({c["id"] for c in CASES}) == len(CASES)
         for c in CASES:
             assert set(c["expected"]) == set(UNIT_NAMES)

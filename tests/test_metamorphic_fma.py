@@ -1,0 +1,323 @@
+"""Metamorphic properties of the three FMA units (R = A + B*C).
+
+Instead of comparing against an oracle value, each property relates the
+unit's output on *transformed* operands to its output on the originals:
+
+* **sign symmetry** -- ``fma(-a, b, -c) == -fma(a, b, c)``: negating
+  the addend and one multiplicand negates the exact result, and
+  round-to-nearest-even commutes with negation;
+* **scale transfer** -- ``fma(a, b*2^k, c*2^-k) == fma(a, b, c)``:
+  moving a power of two across the product leaves the exact value (and
+  therefore the rounded result) untouched;
+* **joint scaling** -- ``fma(a*2^k, b*2^k, c) == fma(a, b, c) * 2^k``:
+  power-of-two scaling is exact, so it commutes with rounding as long
+  as nothing leaves the normal range;
+* **multiplicand commutation** -- ``fma(a, b, c) == fma(a, c, b)``
+  exactly for the classic unit; the CS datapaths treat ``B`` and ``C``
+  asymmetrically by design (``C`` enters the multiplier unrounded with
+  deferred round-up, Fig. 6, while ``B`` is the rounded IEEE operand),
+  so for them the suite asserts *faithful* commutation: both orders are
+  faithful roundings of the exact value and differ by at most one ulp.
+  The asymmetry is real -- Hypothesis shrank a violating triple, now
+  pinned as a ``metamorphic`` golden case;
+* **fused vs discrete ordering** -- when ``b*c`` is exactly
+  representable the fused result equals the discrete
+  multiply-then-add; in general the fused result is never *farther*
+  from the exact value than the discrete one.
+
+When Hypothesis finds a violation, the shrunk counterexample is
+recorded in ``tests/vectors/metamorphic_failures.json``;
+``tests/vectors/gen_metamorphic_cases.py`` folds that file (plus a
+seeded probe set) into the golden corpus as category ``metamorphic``,
+so every shrunk failure becomes a permanent regression vector.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+from hypothesis import assume, given, strategies as st
+
+from repro.fma import FcsFmaUnit, PcsFmaUnit, cs_to_ieee, ieee_to_cs
+from repro.fma.classic import ClassicFmaUnit
+from repro.fp import (BINARY64, FPValue, fp_add, fp_mul,
+                      fp_mul_add_discrete)
+
+FAILURES = Path(__file__).parent / "vectors" / "metamorphic_failures.json"
+
+UNITS = ["classic-fma", "pcs-fma", "fcs-fma"]
+
+
+def unit_fma(name: str, a: FPValue, b: FPValue, c: FPValue) -> FPValue:
+    """One FMA through the named unit, binary64 in and out."""
+    if name == "classic-fma":
+        return ClassicFmaUnit(BINARY64).fma(a, b, c)
+    unit = PcsFmaUnit() if name == "pcs-fma" else FcsFmaUnit()
+    return cs_to_ieee(unit.fma(ieee_to_cs(a, unit.params), b,
+                               ieee_to_cs(c, unit.params)))
+
+
+def scale2(x: FPValue, k: int) -> FPValue:
+    """Exact ``x * 2^k`` (operands are kept normal by the strategies)."""
+    if x.is_zero or x.is_nan or x.is_inf:
+        return x
+    return FPValue.from_parts(BINARY64, x.sign, x.biased_exponent + k,
+                              x.fraction)
+
+
+def neg(x: FPValue) -> FPValue:
+    if x.is_zero:
+        return FPValue.zero(BINARY64, 1 - x.sign)
+    return FPValue.from_parts(BINARY64, 1 - x.sign, x.biased_exponent,
+                              x.fraction)
+
+
+def same_bits(x: FPValue, y: FPValue) -> bool:
+    if x.is_zero and y.is_zero:
+        return True                  # cancellation may flip a zero sign
+    return (x.cls == y.cls and x.sign == y.sign
+            and x.biased_exponent == y.biased_exponent
+            and x.fraction == y.fraction)
+
+
+def record_failure(relation: str, unit: str, a: FPValue, b: FPValue,
+                   c: FPValue) -> None:
+    """Persist the (shrunk) counterexample for the corpus generator.
+
+    Hypothesis replays the minimal example last, so the final write for
+    a ``relation/unit`` key is the shrunk triple.
+    """
+    try:
+        doc = json.loads(FAILURES.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        doc = {}
+    from repro.serve.protocol import fp_to_word
+
+    doc[f"{relation}/{unit}"] = {
+        "a": "0x%016x" % fp_to_word(a), "b": "0x%016x" % fp_to_word(b),
+        "c": "0x%016x" % fp_to_word(c)}
+    FAILURES.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+
+
+def checked(relation: str, unit: str, a: FPValue, b: FPValue,
+            c: FPValue, ok: bool, detail: str) -> None:
+    if not ok:
+        record_failure(relation, unit, a, b, c)
+    assert ok, (f"{relation} violated by {unit}: {detail} "
+                f"(counterexample recorded in {FAILURES.name})")
+
+
+@st.composite
+def operand(draw, min_exp: int = -200, max_exp: int = 200):
+    sign = draw(st.booleans())
+    exp = draw(st.integers(min_exp, max_exp))
+    frac = draw(st.integers(0, (1 << 52) - 1))
+    return FPValue.from_parts(BINARY64, int(sign), exp + 1023, frac)
+
+
+@st.composite
+def short_operand(draw, sig_bits: int = 26, min_exp: int = -60,
+                  max_exp: int = 60):
+    """Operands with <= ``sig_bits`` significant bits, so pairwise
+    products are exactly representable in binary64."""
+    sign = draw(st.booleans())
+    exp = draw(st.integers(min_exp, max_exp))
+    top = draw(st.integers(0, (1 << (sig_bits - 1)) - 1))
+    frac = top << (52 - (sig_bits - 1))
+    return FPValue.from_parts(BINARY64, int(sign), exp + 1023, frac)
+
+
+@pytest.mark.parametrize("unit", UNITS)
+class TestSignSymmetry:
+    @given(a=operand(), b=operand(), c=operand())
+    def test_negating_addend_and_multiplicand_negates_result(
+            self, unit, a, b, c):
+        r = unit_fma(unit, a, b, c)
+        r_neg = unit_fma(unit, neg(a), b, neg(c))
+        checked("sign-symmetry", unit, a, b, c,
+                same_bits(r_neg, neg(r)),
+                f"fma(-a,b,-c)={r_neg} vs -fma(a,b,c)={neg(r)}")
+
+
+@pytest.mark.parametrize("unit", UNITS)
+class TestPowerOfTwoScaling:
+    @given(a=operand(), b=operand(), c=operand(),
+           k=st.integers(-60, 60))
+    def test_scale_transfer_across_product_is_exact(self, unit, a, b,
+                                                    c, k):
+        """``b*2^k`` and ``c*2^-k`` have the same exact product, so the
+        whole FMA is unchanged bit for bit."""
+        assume(-1000 <= (b.biased_exponent - 1023) + k <= 1000)
+        assume(-1000 <= (c.biased_exponent - 1023) - k <= 1000)
+        r = unit_fma(unit, a, b, c)
+        r_scaled = unit_fma(unit, a, scale2(b, k), scale2(c, -k))
+        checked("scale-transfer", unit, a, b, c,
+                same_bits(r_scaled, r),
+                f"k={k}: {r_scaled} vs {r}")
+
+    @given(a=operand(min_exp=-150, max_exp=150),
+           b=operand(min_exp=-150, max_exp=150),
+           c=operand(min_exp=-150, max_exp=150),
+           k=st.integers(-40, 40))
+    def test_joint_scaling_commutes_with_rounding(self, unit, a, b, c,
+                                                  k):
+        """``2^k * (a + b*c)`` computed either way, provided neither
+        result leaves the normal range (flush/overflow edges are pinned
+        by the golden vectors instead)."""
+        r = unit_fma(unit, a, b, c)
+        assume(not r.is_zero)
+        e = r.biased_exponent - 1023
+        assume(-900 <= e + k <= 900)
+        r_scaled = unit_fma(unit, scale2(a, k), scale2(b, k), c)
+        checked("joint-scaling", unit, a, b, c,
+                same_bits(r_scaled, scale2(r, k)),
+                f"k={k}: {r_scaled} vs {scale2(r, k)}")
+
+
+def exact_value(a: FPValue, b: FPValue, c: FPValue) -> Fraction:
+    return (Fraction(a.to_float()) +
+            Fraction(b.to_float()) * Fraction(c.to_float()))
+
+
+def is_faithful(r: FPValue, exact: Fraction) -> bool:
+    """``r`` is one of the two binary64 neighbours of ``exact``."""
+    rf = r.to_float()
+    if Fraction(rf) == exact:
+        return True
+    if Fraction(rf) < exact:
+        return Fraction(math.nextafter(rf, math.inf)) >= exact
+    return Fraction(math.nextafter(rf, -math.inf)) <= exact
+
+
+def within_one_ulp(x: FPValue, y: FPValue) -> bool:
+    xf, yf = x.to_float(), y.to_float()
+    return (xf == yf or math.nextafter(xf, yf) == yf)
+
+
+class TestCommutation:
+    @given(a=operand(), b=operand(), c=operand())
+    def test_classic_multiplicands_commute_exactly(self, a, b, c):
+        r_bc = unit_fma("classic-fma", a, b, c)
+        r_cb = unit_fma("classic-fma", a, c, b)
+        checked("commutation", "classic-fma", a, b, c,
+                same_bits(r_bc, r_cb), f"{r_bc} vs {r_cb}")
+
+    @pytest.mark.parametrize("unit", ["pcs-fma", "fcs-fma"])
+    @given(a=operand(min_exp=-150, max_exp=150),
+           b=operand(min_exp=-150, max_exp=150),
+           c=operand(min_exp=-150, max_exp=150))
+    def test_cs_multiplicands_commute_faithfully(self, unit, a, b, c):
+        """The CS datapaths are not symmetric in B and C (deferred
+        rounding of C, Fig. 6), so swapped multiplicands may land on
+        the other faithful neighbour of the exact value -- but never
+        farther."""
+        r_bc = unit_fma(unit, a, b, c)
+        r_cb = unit_fma(unit, a, c, b)
+        exact = exact_value(a, b, c)
+        assume(not (r_bc.is_zero or r_cb.is_zero))
+        ok = (within_one_ulp(r_bc, r_cb)
+              and is_faithful(r_bc, exact)
+              and is_faithful(r_cb, exact))
+        checked("faithful-commutation", unit, a, b, c, ok,
+                f"{r_bc} vs {r_cb} (exact ~ {float(exact):.17g})")
+
+    def test_pinned_fcs_asymmetry_counterexample(self):
+        """The shrunk triple Hypothesis found: swapping the
+        multiplicands moves the FCS result to the other faithful
+        neighbour (the corpus pins both orders as golden cases)."""
+        from repro.serve.protocol import word_to_fp
+
+        a = word_to_fp(0x3FF0000000000000)
+        b = word_to_fp(0x3FF0000000000001)
+        c = word_to_fp(0xC003FFFFFFCDFFFB)
+        r_bc = unit_fma("fcs-fma", a, b, c)
+        r_cb = unit_fma("fcs-fma", a, c, b)
+        assert not same_bits(r_bc, r_cb)          # genuinely asymmetric
+        exact = exact_value(a, b, c)
+        assert is_faithful(r_bc, exact) and is_faithful(r_cb, exact)
+        assert within_one_ulp(r_bc, r_cb)
+        # classic stays exactly commutative on the same triple
+        assert same_bits(unit_fma("classic-fma", a, b, c),
+                         unit_fma("classic-fma", a, c, b))
+
+
+@pytest.mark.parametrize("unit", UNITS)
+class TestFusedVsDiscrete:
+    @given(a=operand(min_exp=-60, max_exp=60), b=short_operand(),
+           c=short_operand())
+    def test_exact_product_makes_fusion_invisible(self, unit, a, b, c):
+        """With <= 26-bit multiplicands the product carries <= 53
+        significant bits: the discrete path's first rounding is the
+        identity and both orderings must agree."""
+        fused = unit_fma(unit, a, b, c)
+        discrete = fp_add(a, fp_mul(b, c))
+        checked("fused-exact-product", unit, a, b, c,
+                same_bits(fused, discrete),
+                f"fused {fused} vs discrete {discrete}")
+
+    @given(a=operand(min_exp=-80, max_exp=80),
+           b=operand(min_exp=-80, max_exp=80),
+           c=operand(min_exp=-80, max_exp=80))
+    def test_fusion_never_less_accurate(self, unit, a, b, c):
+        """One rounding can't be farther from the exact sum than two:
+        |fused - exact| <= |discrete - exact| for every operand triple."""
+        fused = unit_fma(unit, a, b, c)
+        discrete = fp_mul_add_discrete(a, b, c)
+        exact = (Fraction(a.to_float()) +
+                 Fraction(b.to_float()) * Fraction(c.to_float()))
+        assume(not fused.is_zero or exact == 0)
+        err_fused = abs(Fraction(fused.to_float()) - exact)
+        err_discrete = abs(Fraction(discrete.to_float()) - exact)
+        checked("fused-ordering", unit, a, b, c,
+                err_fused <= err_discrete,
+                f"fused err {float(err_fused):.3e} > "
+                f"discrete err {float(err_discrete):.3e}")
+
+
+class TestCorpusMetamorphicCases:
+    """The seeded/shrunk probes committed by ``gen_metamorphic_cases.py``
+    must keep satisfying the relations they were generated from."""
+
+    @staticmethod
+    def load():
+        doc = json.loads((Path(__file__).parent / "vectors" /
+                          "fma_hard_cases.json").read_text())
+        return [c for c in doc["cases"] if c["category"] == "metamorphic"]
+
+    def test_corpus_has_metamorphic_cases(self):
+        assert len(self.load()) >= 12
+
+    @pytest.mark.parametrize("unit", UNITS)
+    def test_relations_hold_on_corpus(self, unit):
+        from repro.serve.protocol import word_to_fp
+
+        for case in self.load():
+            a, b, c = (word_to_fp(int(case[k], 16)) for k in "abc")
+            r = unit_fma(unit, a, b, c)
+            assert same_bits(unit_fma(unit, neg(a), b, neg(c)),
+                             neg(r)), case["id"]
+            if unit == "classic-fma":             # CS units: B/C roles
+                assert same_bits(unit_fma(unit, a, c, b), r), case["id"]
+            if (1 <= b.biased_exponent - 8 and
+                    c.biased_exponent + 8 <= 2046):
+                assert same_bits(
+                    unit_fma(unit, a, scale2(b, -8), scale2(c, 8)),
+                    r), case["id"]
+
+
+def test_sign_symmetry_zero_sign_caveat():
+    """The one exception the relation must tolerate: exact cancellation
+    produces +0 under round-to-nearest-even for *both* operand signs,
+    so the two sides differ only in zero sign."""
+    a = FPValue.from_float(-2.0, BINARY64)
+    b = FPValue.from_float(1.0, BINARY64)
+    c = FPValue.from_float(2.0, BINARY64)
+    r = unit_fma("classic-fma", a, b, c)          # -2 + 1*2 == +0
+    r_neg = unit_fma("classic-fma", neg(a), b, neg(c))
+    assert r.is_zero and r_neg.is_zero
+    assert r.sign == 0 and r_neg.sign == 0        # RNE: both +0
+    assert math.copysign(1.0, r.to_float()) == 1.0

@@ -18,6 +18,10 @@ from repro.conformance.cache import ResultCache
 from repro.faults.resilient import (ResilientRun, RetryPolicy, WorkResult,
                                     run_resilient)
 
+# pools / armed collectors are process-global: never run
+# these concurrently with other tests (xdist, future runners)
+pytestmark = pytest.mark.serial
+
 FAST = RetryPolicy(max_attempts=3, backoff_base_s=0.01, backoff_cap_s=0.05,
                    jitter=0.0)
 

@@ -18,6 +18,10 @@ import pytest
 from repro.telemetry.__main__ import main
 from repro.telemetry.gates import REQUIRED_COVERAGE
 
+# pools / armed collectors are process-global: never run
+# these concurrently with other tests (xdist, future runners)
+pytestmark = pytest.mark.serial
+
 SRC = str(Path(__file__).resolve().parent.parent / "src")
 
 

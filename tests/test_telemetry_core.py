@@ -13,6 +13,10 @@ from repro.telemetry import (Snapshot, SpanStat, Telemetry, canonical_bytes,
                              to_prometheus)
 from repro.telemetry import core
 
+# pools / armed collectors are process-global: never run
+# these concurrently with other tests (xdist, future runners)
+pytestmark = pytest.mark.serial
+
 
 class TestDisabledMode:
     def test_module_instruments_are_noops(self):

@@ -24,6 +24,10 @@ from repro.telemetry.capture import run_coverage_kit
 from repro.telemetry.gates import (REQUIRED_COVERAGE, check_coverage,
                                    missing_coverage)
 
+# pools / armed collectors are process-global: never run
+# these concurrently with other tests (xdist, future runners)
+pytestmark = pytest.mark.serial
+
 VECTORS = Path(__file__).parent / "vectors" / "fma_hard_cases.json"
 
 #: Fig. 10 block classes of the PCS Zero Detector

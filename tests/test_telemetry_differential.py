@@ -24,6 +24,10 @@ from repro.fma.dotprod import FusedDotProductUnit
 from repro.fp import BINARY64, FPValue, double
 from repro.telemetry import collecting
 
+# pools / armed collectors are process-global: never run
+# these concurrently with other tests (xdist, future runners)
+pytestmark = pytest.mark.serial
+
 UNITS = [PcsFmaUnit(), FcsFmaUnit()]
 unit_ids = ["pcs", "fcs"]
 

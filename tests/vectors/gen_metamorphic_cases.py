@@ -1,0 +1,178 @@
+"""Regenerate the ``metamorphic`` category of ``fma_hard_cases.json``.
+
+The metamorphic suite (``tests/test_metamorphic_fma.py``) checks
+operand-transformation relations rather than fixed outputs.  This
+generator pins a *seeded probe set* for those relations into the golden
+corpus -- for each base triple it emits the transformed partners (sign
+flip, scale transfer across the product, multiplicand swap), each with
+the faithful scalar models' expected outputs.  A drift in any unit that
+breaks a relation then fails the plain golden-vector regression too,
+without re-running Hypothesis.
+
+If the metamorphic suite ever records shrunk counterexamples in
+``metamorphic_failures.json`` (written automatically on a property
+failure), they are folded in here as additional cases, making every
+shrunk failure a permanent regression vector.  Run from the repo
+root::
+
+    PYTHONPATH=src python tests/vectors/gen_metamorphic_cases.py
+
+Idempotent: existing ``metamorphic`` cases are replaced, everything
+else in the corpus is preserved byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import struct
+from pathlib import Path
+
+from repro.fma import FcsFmaUnit, PcsFmaUnit, cs_to_ieee, ieee_to_cs
+from repro.fma.classic import ClassicFmaUnit
+from repro.fp import BINARY64, FPValue
+
+VECTORS = Path(__file__).parent / "fma_hard_cases.json"
+FAILURES = Path(__file__).parent / "metamorphic_failures.json"
+SEED = 20260808
+CATEGORY = "metamorphic"
+
+_FRACM = (1 << 52) - 1
+
+
+def bits(sign: int, be: int, frac: int) -> int:
+    return (sign << 63) | (be << 52) | frac
+
+
+def from_bits(word: int) -> FPValue:
+    x = struct.unpack("<d", struct.pack("<Q", word))[0]
+    return FPValue.from_float(x, BINARY64)
+
+
+def to_bits(v: FPValue) -> str:
+    return "0x%016x" % struct.unpack("<Q", struct.pack("<d",
+                                                       v.to_float()))[0]
+
+
+def expected(a: int, b: int, c: int) -> dict:
+    av, bv, cv = from_bits(a), from_bits(b), from_bits(c)
+    out = {"classic-fma": to_bits(ClassicFmaUnit(BINARY64).fma(av, bv, cv))}
+    for unit in (PcsFmaUnit(), FcsFmaUnit()):
+        r = unit.fma(ieee_to_cs(av, unit.params), bv,
+                     ieee_to_cs(cv, unit.params))
+        out[unit.name] = to_bits(cs_to_ieee(r))
+    return out
+
+
+def negate(word: int) -> int:
+    return word ^ (1 << 63)
+
+
+def scale(word: int, k: int) -> int:
+    """Exact power-of-two scaling of a normal encoding."""
+    be = (word >> 52) & 0x7FF
+    assert 1 <= be + k <= 2046, "scaled operand left the normal range"
+    return word + (k << 52)
+
+
+def normal(rng: random.Random, lo: int, hi: int) -> int:
+    return bits(rng.getrandbits(1), rng.randint(lo + 1023, hi + 1023),
+                rng.getrandbits(52))
+
+
+def near_cancel(rng: random.Random) -> "tuple[int, int, int]":
+    """A triple where the addend nearly cancels the product -- the
+    regime where a broken sign/scale relation is most visible."""
+    b = normal(rng, -10, 10)
+    c = normal(rng, -10, 10)
+    prod = from_bits(b).to_float() * from_bits(c).to_float()
+    a = struct.unpack("<Q", struct.pack("<d", -prod))[0]
+    # perturb the low bits so the cancellation is near-total, not exact
+    a ^= rng.randint(1, 0xFF)
+    return a, b, c
+
+
+def probe_triples(rng: random.Random) -> list[dict]:
+    """Base triples spanning the interesting alignment regimes."""
+    probes = []
+
+    def add(note, a, b, c):
+        probes.append({"note": note, "a": a, "b": b, "c": c})
+
+    for i in range(3):
+        add("balanced operands", normal(rng, -20, 20),
+            normal(rng, -20, 20), normal(rng, -20, 20))
+    for i in range(3):
+        a, b, c = near_cancel(rng)
+        add("near-total cancellation", a, b, c)
+    add("addend dominates product", normal(rng, 180, 200),
+        normal(rng, -10, 10), normal(rng, -10, 10))
+    add("product dominates addend", normal(rng, -200, -180),
+        normal(rng, 40, 60), normal(rng, 40, 60))
+    # an exactly-representable product (short multiplicands): fused and
+    # discrete paths must agree here, so the goldens double as the
+    # fused-vs-discrete pin
+    add("exact 26-bit product",
+        normal(rng, -5, 5),
+        bits(rng.getrandbits(1), rng.randint(-5 + 1023, 5 + 1023),
+             rng.getrandbits(25) << 27),
+        bits(rng.getrandbits(1), rng.randint(-5 + 1023, 5 + 1023),
+             rng.getrandbits(25) << 27))
+    return probes
+
+
+def transformed(base: dict) -> list[dict]:
+    """The base triple plus its metamorphic partners."""
+    a, b, c = base["a"], base["b"], base["c"]
+    note = base["note"]
+    return [
+        {"note": f"{note} (base)", "a": a, "b": b, "c": c},
+        {"note": f"{note} (sign partner: -a, b, -c)",
+         "a": negate(a), "b": b, "c": negate(c)},
+        {"note": f"{note} (scale partner: a, b*2^12, c*2^-12)",
+         "a": a, "b": scale(b, 12), "c": scale(c, -12)},
+        {"note": f"{note} (swap partner: a, c, b)",
+         "a": a, "b": c, "c": b},
+    ]
+
+
+def harvested_failures() -> list[dict]:
+    """Shrunk counterexamples recorded by the metamorphic suite."""
+    try:
+        doc = json.loads(FAILURES.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        return []
+    out = []
+    for key in sorted(doc):
+        entry = doc[key]
+        out.append({"note": f"shrunk counterexample: {key}",
+                    "a": int(entry["a"], 16), "b": int(entry["b"], 16),
+                    "c": int(entry["c"], 16)})
+    return out
+
+
+def main() -> None:
+    doc = json.loads(VECTORS.read_text())
+    doc["cases"] = [c for c in doc["cases"] if c["category"] != CATEGORY]
+    rng = random.Random(SEED)
+    cases = [t for base in probe_triples(rng) for t in transformed(base)]
+    cases.extend(harvested_failures())
+    new = []
+    for i, case in enumerate(cases):
+        new.append({
+            "id": f"{CATEGORY}-{i:03d}",
+            "category": CATEGORY,
+            "note": case["note"],
+            "a": "0x%016x" % case["a"],
+            "b": "0x%016x" % case["b"],
+            "c": "0x%016x" % case["c"],
+            "expected": expected(case["a"], case["b"], case["c"]),
+        })
+    doc["cases"].extend(new)
+    VECTORS.write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"wrote {len(new)} {CATEGORY} cases "
+          f"({len(doc['cases'])} total) to {VECTORS}")
+
+
+if __name__ == "__main__":
+    main()
