@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from .. import probes
 from ..fma.csfma import CSFmaUnit
+from ..guard import residue as _gd
 from ..telemetry import core as _tm
 from ..fma.formats import CSFloat, CSFmaParams
 from ..fp.formats import BINARY64
@@ -157,17 +158,22 @@ class FastCSKernel:
 
     # -- the multiplier -------------------------------------------------
 
-    def product(self, cv: int, pos: tuple, width: int,
-                mask: int) -> tuple[int, int]:
+    def product(self, cv: int, pos: tuple, width: int, mask: int,
+                sig: int | None = None) -> tuple[int, int]:
         """CS product of the signed multiplicand ``cv`` with the
         significand whose set bits are ``pos``, modulo ``2**width``.
 
         Returns what ``multiply_mantissa(..., out_width=width)`` returns,
         up to bits the callers mask away (`& mask` commutes upward
-        through the tree; see :mod:`repro.batch.trees`).
+        through the tree; see :mod:`repro.batch.trees`).  ``sig`` is the
+        significand value itself, when the caller already has it -- the
+        residue shadow checker folds its residues instead of rebuilding
+        it from ``pos``.
         """
         R = len(pos)
-        if cv >= 0 and cv.bit_length() + pos[-1] + tree_depth(R) <= width:
+        exact = (cv >= 0
+                 and cv.bit_length() + pos[-1] + tree_depth(R) <= width)
+        if exact:
             s, c = tree_fn(R, False)(cv, mask, pos)
             s, c = s & mask, c & mask
         else:
@@ -175,6 +181,14 @@ class FastCSKernel:
         if probes.ARMED is not None:
             # fault-injection probe: the compiled-tree product rows
             s, c = probes.probe("batch.product", (s, c))
+        g = _gd.ACTIVE
+        if g is not None:
+            # residue shadow for the SWAR lanes: the no-overflow branch
+            # is an exact integer identity (pure mod-3/mod-255 residue
+            # arithmetic); the wrapped branch checks under the modulus
+            if sig is None:
+                sig = sum(1 << i for i in pos)
+            g.check_product(s, c, cv, sig, width, exact=exact)
         return s, c
 
     # -- the datapath ----------------------------------------------------
@@ -213,6 +227,7 @@ class FastCSKernel:
         mmask = self.mmask
         msign = self.msign
         mw = self.mw
+        gd = _gd.ACTIVE
 
         # stage 1: deferred rounding decisions
         if ccls == CS_NORMAL:
@@ -257,14 +272,14 @@ class FastCSKernel:
                 pos = bit_positions(b[3])
             if p_pos >= 0:
                 ow = W - p_pos
-                S, C = self.product(cv, pos, ow, (1 << ow) - 1)
+                S, C = self.product(cv, pos, ow, (1 << ow) - 1, b[3])
                 r0 = (S << p_pos) & wmask
                 r1 = (C << p_pos) & wmask
             else:
                 # product entirely below the window: collapse and
                 # floor-shift the signed value (the scalar unit's
                 # documented modelling liberty)
-                S, C = self.product(cv, pos, self.pw, self.pmask)
+                S, C = self.product(cv, pos, self.pw, self.pmask, b[3])
                 pv = (S + C) & self.pmask
                 if pv & self.psign:
                     pv -= self.psign << 1
@@ -315,6 +330,10 @@ class FastCSKernel:
             w_sum, w_carry = probes.probe("batch.window",
                                           (w_sum, w_carry))
 
+        if gd is not None:
+            rows_sum = a_row + ((r0 + (r1 or 0)) if p_nonzero else 0)
+            gd.check_window(w_sum, w_carry, rows_sum, W)
+
         value = (w_sum + w_carry) & wmask
         if value == 0:
             return (CS_ZERO, 0, 0, 0, 0, 0, 0)
@@ -352,6 +371,16 @@ class FastCSKernel:
             if skipped > self.max_skip:
                 skipped = self.max_skip
 
+        if gd is not None:
+            # normalization shadow (same recompute the scalar unit runs;
+            # here it doubles as a cross-implementation consistency check)
+            if self.selector == "zd":
+                shadow = _gd.zd_shadow(value, W, block, self.max_skip)
+            else:
+                est_ref = _gd.lza_shadow(aa, prod_word, W)
+                shadow = min(max(est_ref - 1, 0) // block, self.max_skip)
+            gd.check_norm(skipped, shadow, self.selector)
+
         # stage 8: result and rounding-data slice
         lo = block * (self.params.window_blocks - 1 - skipped
                       - (self.params.mant_blocks - 1))
@@ -366,6 +395,9 @@ class FastCSKernel:
             r_carry = (w_carry >> rlo) & bmask & self.rcmask
         else:
             r_sum = r_carry = 0
+        if gd is not None:
+            gd.check_slice(m_sum, m_carry, w_sum, w_carry, lo, mmask,
+                          self.mcmask)
 
         # stage 9: exponent update and range check
         e_r = w0 + lo + frac

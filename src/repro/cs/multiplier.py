@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..guard import residue as _gd
 from ..probes import probe
 from .csa import CSAReduction, reduce_rows
 from .csnumber import CSNumber
@@ -97,4 +98,9 @@ def multiply_mantissa(b_mant: int, b_width: int, c_tc: int, c_width: int,
     product = CSNumber(red.sum & mask, red.carry & mask, w)
     # fault-injection probe: the product sum/carry row registers
     product = probe("cs.mult_product", product)
+    g = _gd.ACTIVE
+    if g is not None:
+        # residue shadow: the CS pair must still encode c_eff * b_mant
+        # under the tree's wrap modulus
+        g.check_product(product.sum, product.carry, c_eff, b_mant, w)
     return MultiplierResult(product, n_rows, red.depth, red.compressors)

@@ -22,6 +22,10 @@ fault-injection campaign (:mod:`repro.faults.campaign`) all share:
   the survivors re-dispatched;
 * **graceful serial degradation** -- after ``serial_fallback_after``
   pool-level failures the remaining items run inline, one by one;
+* **graceful drain** -- an optional run-wide ``deadline_s`` stops the
+  run at a wall-clock budget: items still pending or mid-retry surface
+  as structured ``drained`` error records (carrying the last failure,
+  if any), never silently lost and never executed twice;
 * **structured failure records** -- an item that exhausts its attempts
   produces a :class:`WorkResult` with a machine-readable error record
   instead of an exception that kills the sweep.
@@ -103,6 +107,9 @@ class ResilientRun:
             "retries": kinds.get("retry", 0),
             "timeouts": kinds.get("timeout", 0),
             "worker_deaths": kinds.get("worker-died", 0),
+            "drained": sum(1 for r in self.results
+                           if r is not None and not r.ok and r.error
+                           and r.error.get("kind") == "drained"),
             "pool_respawns": self.pool_failures,
             "serial_fallback": self.serial_fallback,
         }
@@ -167,7 +174,8 @@ def run_resilient(fn, items, *, workers: int | None = None,
                   retry: RetryPolicy | None = None,
                   serial_fallback_after: int = 2,
                   rng_seed: int = 0,
-                  always_pool: bool = False) -> ResilientRun:
+                  always_pool: bool = False,
+                  deadline_s: float | None = None) -> ResilientRun:
     """Run ``fn`` over ``items`` with timeouts, retry, and pool recovery.
 
     ``workers=None`` uses ``os.cpu_count()``; ``workers<=1`` (or a
@@ -177,7 +185,10 @@ def run_resilient(fn, items, *, workers: int | None = None,
     that limitation in the run's events).  ``always_pool=True`` keeps
     even a single-item run in the process pool so it gets the full
     timeout/respawn treatment (the serving layer's per-batch isolation
-    mode needs exactly that).  Results preserve item order; the run
+    mode needs exactly that).  ``deadline_s`` is a run-wide wall-clock
+    budget: when it expires the run drains -- no new dispatches, no
+    further retries, and every unfinished item gets a structured
+    ``drained`` error record.  Results preserve item order; the run
     never raises for item failures.
     """
     policy = retry if retry is not None else RetryPolicy()
@@ -192,6 +203,8 @@ def run_resilient(fn, items, *, workers: int | None = None,
         workers = os.cpu_count() or 1
     rng = random.Random(rng_seed)
     wants_attempt = _accepts_attempt(fn)
+    run_deadline = (None if deadline_s is None
+                    else time.monotonic() + deadline_s)
     attempts = [0] * n
     pending: deque[int] = deque(range(n))
     serial = workers <= 1 or (n <= 1 and not always_pool)
@@ -214,9 +227,18 @@ def run_resilient(fn, items, *, workers: int | None = None,
         run.events.append({"kind": "permanent-failure", "item": idx,
                            "after": kind})
 
+    def drain_due() -> bool:
+        return (run_deadline is not None
+                and time.monotonic() >= run_deadline)
+
     def retry_or_fail(idx: int, kind: str,
                       exc: BaseException | None = None) -> None:
         if attempts[idx] < policy.max_attempts:
+            if drain_due():
+                # mid-retry at the drain deadline: a structured record
+                # carrying the last failure, not a lost item
+                record_failure(idx, "drained", exc)
+                return
             run.events.append({"kind": "retry", "item": idx,
                                "after": kind})
             time.sleep(policy.backoff_s(attempts[idx], rng))
@@ -250,6 +272,9 @@ def run_resilient(fn, items, *, workers: int | None = None,
                                     wants_attempt)
             except Exception as exc:
                 if attempts[idx] < policy.max_attempts:
+                    if drain_due():
+                        record_failure(idx, "drained", exc)
+                        return
                     run.events.append({"kind": "retry", "item": idx,
                                        "after": "exception"})
                     time.sleep(policy.backoff_s(attempts[idx], rng))
@@ -263,8 +288,24 @@ def run_resilient(fn, items, *, workers: int | None = None,
 
     try:
         while pending or in_flight:
+            if drain_due():
+                run.events.append({"kind": "drain"})
+                while pending:
+                    record_failure(pending.popleft(), "drained")
+                for _fut, (idx, _dl) in list(in_flight.items()):
+                    record_failure(idx, "drained")
+                in_flight.clear()
+                if pool is not None:
+                    _kill_pool(pool)
+                    pool = None
+                break
             if serial:
                 while pending:
+                    if drain_due():
+                        run.events.append({"kind": "drain"})
+                        while pending:
+                            record_failure(pending.popleft(), "drained")
+                        break
                     run_serial(pending.popleft())
                 break
             if pool is None:
@@ -295,6 +336,11 @@ def run_resilient(fn, items, *, workers: int | None = None,
             wait_s = (None if not deadlines
                       else max(0.0, min(deadlines) - time.monotonic())
                       + 0.01)
+            if run_deadline is not None:
+                drain_wait = max(0.0,
+                                 run_deadline - time.monotonic()) + 0.01
+                wait_s = (drain_wait if wait_s is None
+                          else min(wait_s, drain_wait))
             done, _ = wait(list(in_flight), timeout=wait_s,
                            return_when=FIRST_COMPLETED)
             pool_broken = False

@@ -22,6 +22,7 @@ from ..fp.formats import BINARY64, FloatFormat
 from ..fp.ops import fp_fma
 from ..fp.rounding import RoundingMode
 from ..fp.value import FPValue
+from ..guard import residue as _gd
 from ..telemetry import core as _tm
 
 __all__ = ["ClassicFmaUnit", "ClassicTrace"]
@@ -64,6 +65,13 @@ class ClassicFmaUnit:
         if _tm.ACTIVE is not None:
             _tm.ACTIVE.count("fma.scalar.call.classic")
         r = fp_fma(a, b, c, fmt=self.fmt, mode=self.mode)
+        g = _gd.ACTIVE
+        if g is not None:
+            # The classic unit's exact rational datapath has no wrapped
+            # CS stages for a residue checker to shadow; its guard mode
+            # is duplicate-and-compare (time redundancy).
+            g.check_equal("classic",
+                          fp_fma(a, b, c, fmt=self.fmt, mode=self.mode), r)
         if trace is not None and a.is_normal and b.is_normal \
                 and c.is_normal:
             e_prod = b.unbiased_exponent + c.unbiased_exponent

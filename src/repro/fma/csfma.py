@@ -45,6 +45,7 @@ from ..cs.lza import lza_estimate
 from ..cs.multiplier import multiply_mantissa
 from ..cs.zero_detect import count_skippable_blocks
 from ..fp.value import FpClass, FPValue
+from ..guard import residue as _gd
 from ..probes import probe
 from ..telemetry import core as _tm
 from .formats import (CSFloat, CSFmaParams, FCS_PARAMS, PCS_PARAMS,
@@ -115,6 +116,7 @@ class CSFmaUnit:
             raise ValueError("operand format does not match this unit")
 
         tm = _tm.ACTIVE
+        g = _gd.ACTIVE
         if tm is not None:
             tm.count(f"fma.scalar.call.{p.name}")
 
@@ -217,6 +219,10 @@ class CSFmaUnit:
 
         value = (window.sum + window.carry) & wmask
         t.window_sum, t.window_carry = window.sum, window.carry
+        if g is not None:
+            # residue shadow: the 3:2 compressor and the Carry Reduce
+            # stage both conserve the row sum under the window wrap
+            g.check_window(window.sum, window.carry, sum(rows), W)
         if value == 0:
             if tm is not None:
                 tm.count("fma.scalar.cancel_to_zero")
@@ -236,6 +242,16 @@ class CSFmaUnit:
             # the slice's sign position and flip the result's sign.
             skipped = min(max(est - 1, 0) // p.block, max_skip)
         t.skipped_blocks = skipped
+        if g is not None:
+            # normalization shadow: an independent skip-count recompute
+            # (closed-form sign-bit count for the ZD, a probe-free second
+            # anticipator pass for the LZA)
+            if self.selector == "zd":
+                shadow = _gd.zd_shadow(value, W, p.block, max_skip)
+            else:
+                est_ref = _gd.lza_shadow(a_row_word, prod_word, W)
+                shadow = min(max(est_ref - 1, 0) // p.block, max_skip)
+            g.check_norm(skipped, shadow, self.selector)
         if tm is not None:
             # which normalization path produced the block-skip decision
             tm.count("fma.scalar.norm.zd" if self.selector == "zd"
@@ -259,6 +275,9 @@ class CSFmaUnit:
             raise AssertionError("carry bit outside the operand format")
         # fault-injection probe: the result mantissa slice registers
         m_sum, m_carry = probe("fma.mant_slice", (m_sum, m_carry))
+        if g is not None:
+            g.check_slice(m_sum, m_carry, window.sum, window.carry, lo,
+                          mant_mask, p.mant_carry_mask)
         mant = CSNumber(m_sum, m_carry, p.mant_width, p.mant_carry_mask)
 
         rlo = lo - p.block

@@ -66,7 +66,11 @@ class MicroBatcher:
 
     @staticmethod
     def key_for(req: Request) -> str:
-        return f"{req.op}.{req.fmt}"
+        # verified requests must not coalesce with unverified ones (the
+        # guard policy is batch-level), so the level is part of the key
+        if req.verify is None:
+            return f"{req.op}.{req.fmt}"
+        return f"{req.op}.{req.fmt}.{req.verify}"
 
     def depth(self, key: str) -> int:
         q = self._queues.get(key)
@@ -123,8 +127,10 @@ class MicroBatcher:
         if timer is not None:
             try:
                 timer.cancel()
+            except (KeyboardInterrupt, SystemExit):
+                raise  # interruption must win over the flush
             except Exception:
-                pass
+                pass  # a dead timer handle must not block the flush
         q = self._queues.get(key)
         if not q:
             return
@@ -149,6 +155,8 @@ class MicroBatcher:
         for timer in self._timers.values():
             try:
                 timer.cancel()
+            except (KeyboardInterrupt, SystemExit):
+                raise  # interruption must win over shutdown cleanup
             except Exception:
-                pass
+                pass  # a dead timer handle must not block shutdown
         self._timers.clear()

@@ -15,6 +15,12 @@ recovery policy covers the whole repo:
   broken-pool respawn machinery (slower: a pool is spawned per payload;
   meant for untrusted/long batches, and for the resilience tests).
 
+Payloads carrying a ``verify`` level instead route through the
+:class:`repro.guard.voting.GuardedExecutor`: the whole batch executes
+under the armed residue checkers and, on a flag (or unconditionally in
+DMR/TMR mode), is re-executed and voted on.  Process isolation composes:
+guard replicas then run on distinct pool workers.
+
 Failures are two-level by design.  A *request* that cannot be computed
 (accumulator overflow, malformed operands) yields a per-item error
 record inside an otherwise successful payload -- it never fails its
@@ -53,10 +59,14 @@ def _units():
 
 
 def payload_from_requests(op: str, fmt: str, requests: "list[Request]",
-                          use_batch: bool = True) -> dict:
+                          use_batch: bool = True,
+                          verify: str | None = None) -> dict:
     """Flatten one coalesced batch into a picklable payload dict."""
-    return {"op": op, "fmt": fmt, "use_batch": use_batch,
-            "items": [(r.a, r.b, r.c) for r in requests]}
+    payload = {"op": op, "fmt": fmt, "use_batch": use_batch,
+               "items": [(r.a, r.b, r.c) for r in requests]}
+    if verify is not None:
+        payload["verify"] = verify
+    return payload
 
 
 def _exec_fma(fmt: str, items, use_batch: bool) -> list:
@@ -154,6 +164,19 @@ def reference_result(req: Request) -> "tuple":
 # ---------------------------------------------------------------------------
 
 
+class _GuardedPayload:
+    """Picklable work unit for :class:`repro.guard.voting.GuardedExecutor`:
+    one full payload execution per guard replica (the batch is the unit
+    of detection -- a flagged check re-executes the whole payload)."""
+
+    def __init__(self, work_fn, payload: dict):
+        self.work_fn = work_fn
+        self.payload = payload
+
+    def __call__(self, execution: int) -> list:
+        return self.work_fn(self.payload)
+
+
 class BatchExecutor:
     """Synchronous payload runner with the shared recovery policy.
 
@@ -178,14 +201,21 @@ class BatchExecutor:
         self.work_fn = work_fn if work_fn is not None else execute_payload
         self._calls = 0
 
-    def run(self, payload: dict) -> "tuple[list | None, dict | None, int]":
-        """Run one payload; returns ``(records, error, attempts)``.
+    def run(self, payload: dict,
+            ) -> "tuple[list | None, dict | None, int, str | None]":
+        """Run one payload; returns ``(records, error, attempts, guard)``.
 
         Exactly one of ``records``/``error`` is ``None``; ``error`` is
         the structured record from :class:`~repro.faults.resilient.
         WorkResult` (``kind`` = timeout / worker-died / exception).
+        ``guard`` is ``None`` for plain payloads and the guard
+        classification (``clean``/``corrected``/``uncorrectable``) for
+        payloads carrying a ``verify`` level.
         """
         self._calls += 1
+        verify = payload.get("verify")
+        if verify:
+            return self._run_guarded(payload, verify)
         process = self.isolation == "process"
         run = run_resilient(
             self.work_fn, [payload],
@@ -196,5 +226,30 @@ class BatchExecutor:
             always_pool=process)
         result = run.results[0]
         if result.ok:
-            return result.value, None, result.attempts
-        return None, result.error or {"kind": "lost"}, result.attempts
+            return result.value, None, result.attempts, None
+        return None, result.error or {"kind": "lost"}, result.attempts, None
+
+    def _run_guarded(self, payload: dict, verify: str,
+                     ) -> "tuple[list | None, dict | None, int, str]":
+        """Verified path: residue checkers armed, re-execution + voting
+        on a flag.  An ``uncorrectable`` outcome carries no records --
+        the caller must answer every batchmate with an error, never
+        with data."""
+        from ..guard.voting import GuardedExecutor, GuardPolicy
+
+        process = self.isolation == "process"
+        policy = GuardPolicy(
+            mode=verify,
+            workers=2 if process else 1,
+            timeout_s=self.timeout_s if process else None)
+        executor = GuardedExecutor(policy,
+                                   rng_seed=self.rng_seed + self._calls)
+        outcome = executor.run(_GuardedPayload(self.work_fn, payload))
+        if outcome.ok:
+            return outcome.value, None, outcome.executions, outcome.status
+        flagged = outcome.flagged
+        return None, {
+            "kind": "uncorrectable",
+            "message": f"no clean quorum within {outcome.executions} "
+                       f"execution(s) ({flagged} flagged)",
+        }, outcome.executions, outcome.status

@@ -23,7 +23,15 @@ A response is exactly one of three shapes (``status`` field):
 * ``error`` -- the request was attempted and failed (``kind`` +
   ``message``); ``kind`` mirrors the structured error records of
   :mod:`repro.faults.resilient` (``timeout`` / ``worker-died`` /
-  ``exception``) plus ``bad-request`` for malformed input.
+  ``exception``) plus ``bad-request`` for malformed input and
+  ``uncorrectable`` for a guarded batch the CED layer rejected.
+
+A request may opt into concurrent error detection with ``verify``
+(one of :data:`VERIFY_LEVELS`): its batch then executes under the
+:mod:`repro.guard` residue checkers and redundant-execution voting,
+and an ``ok`` response carries the guard classification (``clean`` or
+``corrected``) in the ``guard`` field.  An ``uncorrectable`` batch is
+*never* returned as data.
 """
 
 from __future__ import annotations
@@ -35,9 +43,10 @@ from ..fp.formats import BINARY64
 from ..fp.value import FPValue
 
 __all__ = ["Request", "Response", "OPS", "FORMATS", "REJECT_REASONS",
-           "word_to_hex", "hex_to_word", "encode_request",
-           "decode_request", "encode_response", "decode_response",
-           "ProtocolError", "fp_to_word", "word_to_fp"]
+           "VERIFY_LEVELS", "word_to_hex", "hex_to_word",
+           "encode_request", "decode_request", "encode_response",
+           "decode_response", "ProtocolError", "fp_to_word",
+           "word_to_fp"]
 
 #: served operations and the operand formats each accepts.
 OPS: dict[str, tuple[str, ...]] = {
@@ -49,6 +58,9 @@ FORMATS = ("classic", "pcs", "fcs")
 
 #: structured rejection reasons (the overload policy's vocabulary).
 REJECT_REASONS = ("queue-full", "slow-start", "deadline", "draining")
+
+#: per-request verification levels (the guard's policy modes).
+VERIFY_LEVELS = ("residue", "dmr", "tmr")
 
 _WORD_MASK = (1 << 64) - 1
 
@@ -114,7 +126,9 @@ class Request:
     tuples (``a``, ``b``; no ``c``) for ``dot``/``acc``.  ``timeout_s``
     is the client's deadline budget, measured from admission; the
     micro-batcher sheds the request (``rejected``/``deadline``) if it is
-    still queued when the budget runs out.
+    still queued when the budget runs out.  ``verify`` opts the request
+    into the guarded execution path (:data:`VERIFY_LEVELS`); verified
+    requests only coalesce with batchmates at the same level.
     """
 
     req_id: int | str
@@ -124,6 +138,7 @@ class Request:
     b: "int | tuple[int, ...]" = 0
     c: int | None = None
     timeout_s: float | None = None
+    verify: str | None = None
 
     def validate(self) -> None:
         if self.op not in OPS:
@@ -146,6 +161,9 @@ class Request:
                     f"{self.op} needs equal-length a/b vectors")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ProtocolError("timeout_s must be positive")
+        if self.verify is not None and self.verify not in VERIFY_LEVELS:
+            raise ProtocolError(
+                f"verify must be one of {VERIFY_LEVELS}")
 
     @property
     def n_elements(self) -> int:
@@ -207,13 +225,17 @@ def decode_request(obj: dict) -> Request:
     timeout = obj.get("timeout_s")
     if timeout is not None and not isinstance(timeout, (int, float)):
         raise ProtocolError("timeout_s must be a number")
+    verify = obj.get("verify")
+    if verify is not None and not isinstance(verify, str):
+        raise ProtocolError("verify must be a string")
     c = obj.get("c")
     req = Request(
         req_id=req_id, op=op, fmt=fmt,
         a=_words(obj.get("a", 0), "a"), b=_words(obj.get("b", 0), "b"),
         c=None if c is None else _int_word(
             hex_to_word(c) if isinstance(c, str) else c, "c"),
-        timeout_s=None if timeout is None else float(timeout))
+        timeout_s=None if timeout is None else float(timeout),
+        verify=verify)
     req.validate()
     return req
 
@@ -231,6 +253,8 @@ def encode_request(req: Request) -> dict:
         obj["c"] = word_to_hex(req.c)
     if req.timeout_s is not None:
         obj["timeout_s"] = req.timeout_s
+    if req.verify is not None:
+        obj["verify"] = req.verify
     return obj
 
 
@@ -245,6 +269,8 @@ def encode_response(resp: Response) -> dict:
         obj["message"] = resp.message or ""
     if resp.attempts:
         obj["attempts"] = resp.attempts
+    if resp.meta.get("guard"):
+        obj["guard"] = resp.meta["guard"]
     return obj
 
 
@@ -252,17 +278,18 @@ def decode_response(obj: dict) -> Response:
     if not isinstance(obj, dict) or "status" not in obj:
         raise ProtocolError("response must be an object with a status")
     status = obj["status"]
+    meta = {"guard": obj["guard"]} if "guard" in obj else {}
     if status == "ok":
         return Response(obj.get("id"), "ok",
                         result=hex_to_word(obj["result"]),
-                        attempts=obj.get("attempts", 0))
+                        attempts=obj.get("attempts", 0), meta=meta)
     if status == "rejected":
         return Response(obj.get("id"), "rejected",
                         reason=obj.get("reason"))
     if status == "error":
         return Response(obj.get("id"), "error", kind=obj.get("kind"),
                         message=obj.get("message"),
-                        attempts=obj.get("attempts", 0))
+                        attempts=obj.get("attempts", 0), meta=meta)
     raise ProtocolError(f"unknown response status {status!r}")
 
 

@@ -27,6 +27,9 @@ instruments fire on the event-loop thread):
 ``serve.batch.size_le.<n>``     count  batch-size histogram (pow-2)
 ``serve.exec.retries``          count  resilient retry attempts
 ``serve.exec.failures``         count  payloads failed after retry
+``serve.guard.<status>``        count  verified batches per guard
+                                       classification (``clean`` /
+                                       ``corrected``/``uncorrectable``)
 ``serve.pending``               gauge  high-water queued+in-flight
 ``serve.queue.depth.<key>``     gauge  high-water per-class depth
 ``serve.admission.window``      gauge  high-water slow-start window
@@ -70,6 +73,7 @@ class ServeConfig:
     use_batch: bool = True           # fast kernels vs faithful loop
     isolation: str = "inline"        # "inline" | "process"
     exec_timeout_s: float | None = None      # per-attempt (process mode)
+    tcp_line_limit: int = 1 << 20    # max request line on the wire
     retry: RetryPolicy = field(default_factory=lambda: RetryPolicy(
         max_attempts=2, backoff_base_s=0.001, backoff_cap_s=0.01))
     rng_seed: int = 0
@@ -80,6 +84,8 @@ class ServeConfig:
             raise ValueError("max_batch must be >= 1")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.tcp_line_limit < 1024:
+            raise ValueError("tcp_line_limit must be >= 1024")
 
 
 class FmaServer:
@@ -121,6 +127,8 @@ class FmaServer:
             "max_batch_size": 0}
         for reason in ("queue-full", "slow-start", "deadline", "draining"):
             self.stats[f"rejected.{reason}"] = 0
+        for status in ("clean", "corrected", "uncorrectable"):
+            self.stats[f"guard.{status}"] = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -242,17 +250,23 @@ class FmaServer:
                 for e in live:
                     tm.observe("serve.stage.queue",
                                int((now - e.t_enqueue) * 1e9))
-            op, fmt = key.split(".", 1)
+            op, fmt = key.split(".")[:2]  # key may carry a verify level
             payload = payload_from_requests(
                 op, fmt, [e.req for e in live],
-                use_batch=self.config.use_batch)
+                use_batch=self.config.use_batch,
+                verify=live[0].req.verify)
             t0 = time.perf_counter_ns()
-            records, error, attempts = await loop.run_in_executor(
+            records, error, attempts, guard = await loop.run_in_executor(
                 self._pool, self.executor.run, payload)
             if tm is not None:
                 tm.observe("serve.stage.exec",
                            time.perf_counter_ns() - t0)
-            if attempts > 1:
+            if guard is not None:
+                self.stats[f"guard.{guard}"] += 1
+                if tm is not None:
+                    tm.count(f"serve.guard.{guard}")
+            meta = {} if guard is None else {"guard": guard}
+            if guard is None and attempts > 1:
                 self.stats["retries"] += attempts - 1
                 if tm is not None:
                     tm.count("serve.exec.retries", attempts - 1)
@@ -266,19 +280,21 @@ class FmaServer:
                         e.req.req_id, "error",
                         kind=error.get("kind", "exception"),
                         message=error.get("message", ""),
-                        attempts=attempts))
+                        attempts=attempts, meta=meta))
                 return
             self.admission.on_batch_ok(n)
             for e, rec in zip(live, records):
                 if rec[0] == "ok":
                     self._resolve(e, Response(e.req.req_id, "ok",
                                               result=rec[1],
-                                              attempts=attempts))
+                                              attempts=attempts,
+                                              meta=meta))
                 else:
                     self._resolve(e, Response(e.req.req_id, "error",
                                               kind=rec[1],
                                               message=rec[2],
-                                              attempts=attempts))
+                                              attempts=attempts,
+                                              meta=meta))
 
     def _shed_expired(self, entries: list[Entry], now: float,
                       ) -> list[Entry]:
@@ -325,7 +341,8 @@ class FmaServer:
         if not self._started:
             await self.start()
         self._tcp_server = await asyncio.start_server(
-            self._handle_connection, host, port)
+            self._handle_connection, host, port,
+            limit=self.config.tcp_line_limit)
         return self._tcp_server
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
@@ -354,16 +371,53 @@ class FmaServer:
             resp = await self.submit(req)
             await write_obj(encode_response(resp))
 
+        async def discard_oversized() -> bool:
+            """Drop the rest of an oversized request line, exactly up
+            to its terminating newline (bytes after the newline are the
+            next request and stay buffered); ``False`` means EOF (the
+            line never ended and the client is gone)."""
+            while True:
+                try:
+                    await reader.readuntil(b"\n")
+                    return True
+                except asyncio.LimitOverrunError as exc:
+                    try:
+                        await reader.readexactly(max(exc.consumed, 1))
+                    except asyncio.IncompleteReadError:
+                        return False
+                except asyncio.IncompleteReadError:
+                    return False
+
         try:
             while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                if not line.strip():
+                at_eof = False
+                try:
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as exc:
+                    line = exc.partial   # unterminated final line
+                    at_eof = True
+                except asyncio.LimitOverrunError:
+                    # a request line beyond the stream limit must not
+                    # kill the connection without a response: answer
+                    # with a structured error, discard the rest of the
+                    # line, and keep serving
+                    try:
+                        await write_obj({
+                            "id": None, "status": "error",
+                            "kind": "bad-request",
+                            "message": "request line exceeds the "
+                                       "stream limit"})
+                    except (ConnectionError, OSError):
+                        break
+                    if not await discard_oversized():
+                        break
                     continue
-                task = asyncio.ensure_future(handle_line(line))
-                conn_tasks.add(task)
-                task.add_done_callback(conn_tasks.discard)
+                if line.strip():
+                    task = asyncio.ensure_future(handle_line(line))
+                    conn_tasks.add(task)
+                    task.add_done_callback(conn_tasks.discard)
+                if at_eof:
+                    break
             while conn_tasks:
                 await asyncio.gather(*list(conn_tasks),
                                      return_exceptions=True)

@@ -53,6 +53,7 @@ def isolate_process_state(tmp_path, monkeypatch):
     """
     from repro import probes
     from repro.batch.memo import clear_hw_caches
+    from repro.guard import residue as _gd_core
     from repro.telemetry import core as _tm_core
 
     clear_hw_caches()
@@ -60,13 +61,17 @@ def isolate_process_state(tmp_path, monkeypatch):
                        str(tmp_path / "conformance-cache"))
     assert probes.ARMED is None, "previous test leaked armed probes"
     assert _tm_core.ACTIVE is None, "previous test leaked telemetry"
+    assert _gd_core.ACTIVE is None, "previous test leaked an armed guard"
     yield
     leaked_probes = probes.ARMED is not None
     leaked_tm = _tm_core.ACTIVE is not None
+    leaked_gd = _gd_core.ACTIVE is not None
     probes.ARMED = None
     _tm_core.ACTIVE = None
+    _gd_core.ACTIVE = None
     assert not leaked_probes, "test leaked armed probes"
     assert not leaked_tm, "test leaked an active telemetry collector"
+    assert not leaked_gd, "test leaked an armed residue guard"
 
 
 def bits_to_float(bits: int) -> float:

@@ -30,6 +30,7 @@ ENTRY_POINTS = {
     "repro.analysis": "repro.analysis.__main__",
     "repro.conformance": "repro.conformance.runner",
     "repro.faults": "repro.faults.__main__",
+    "repro.guard": "repro.guard.__main__",
     "repro.telemetry": "repro.telemetry.__main__",
     "repro.serve": "repro.serve.__main__",
 }
@@ -52,6 +53,21 @@ BAD_VALUES = {
         ["--timeout", "0"],
         ["--retries", "0"],
         ["--resume"],                       # requires --checkpoint
+        ["--classes", "bogus"],
+        ["--sites", "no.such.site"],
+        ["--guard", "--checkpoint", "x.json"],  # guard has no resume
+    ],
+    "repro.guard": [
+        ["--injections", "0"],
+        ["--operands", "0"],
+        ["--multi-bit", "1.5"],
+        ["--max-executions", "0"],
+        ["--workers", "0"],
+        ["--timeout", "0"],
+        ["--retries", "0"],
+        ["--min-reduction", "0"],
+        ["--min-coverage", "2"],
+        ["--mode", "qmr"],                  # not a choice
         ["--classes", "bogus"],
         ["--sites", "no.such.site"],
     ],

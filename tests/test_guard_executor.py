@@ -1,0 +1,187 @@
+"""GuardedExecutor: detection -> re-execution -> vote -> classify.
+
+Work functions receive the zero-based execution number, so each test
+scripts exactly which executions misbehave; outcomes are asserted on
+status, released value, execution count, and the structured records.
+The pool path (``workers > 1``) uses module-level picklable functions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.guard.residue import GuardMismatch
+from repro.guard.voting import GuardedExecutor, GuardedOutcome, GuardPolicy
+from repro.telemetry import collecting
+
+# worker pools / armed guards are process-global
+pytestmark = pytest.mark.serial
+
+
+def flag_below(n):
+    """Work fn raising a residue flag on executions ``< n``."""
+    def work(execution: int):
+        if execution < n:
+            raise GuardMismatch("window", f"execution {execution}")
+        return 42
+    return work
+
+
+def run(mode="residue", fn=None, **policy_kw):
+    policy = GuardPolicy(mode=mode, **policy_kw)
+    return GuardedExecutor(policy).run(fn)
+
+
+# -- residue mode -----------------------------------------------------------
+
+
+class TestResidueMode:
+    def test_clean_single_execution(self):
+        out = run(fn=flag_below(0))
+        assert out.status == "clean" and out.ok
+        assert out.value == 42
+        assert out.executions == 1 and out.flagged == 0
+        assert out.records == [{"execution": 0, "flagged": False}]
+
+    def test_flag_triggers_reexecution_and_corrects(self):
+        out = run(fn=flag_below(1))
+        assert out.status == "corrected" and out.ok
+        assert out.value == 42
+        assert out.executions == 2 and out.flagged == 1
+        assert out.records[0] == {"execution": 0, "flagged": True,
+                                  "mismatches": {"window": 1}}
+
+    def test_budget_exhaustion_is_uncorrectable(self):
+        out = run(fn=flag_below(99), max_executions=3)
+        assert out.status == "uncorrectable" and not out.ok
+        assert out.value is None                # never released as data
+        assert out.executions == 3 and out.flagged == 3
+
+    def test_work_exception_is_not_a_vote(self):
+        # a crash is not a residue flag: it burns budget but the next
+        # clean execution still certifies the result
+        calls = []
+
+        def work(execution: int):
+            calls.append(execution)
+            if execution == 0:
+                raise ValueError("boom")
+            return 7
+
+        out = run(fn=work)
+        assert out.status == "corrected" and out.value == 7
+        assert out.flagged == 0
+        assert out.records[0]["error"]["type"] == "ValueError"
+        assert calls == [0, 1]
+
+
+# -- DMR / TMR --------------------------------------------------------------
+
+
+class TestRedundantModes:
+    def test_dmr_agreeing_pair_is_clean(self):
+        out = run("dmr", fn=lambda e: 5)
+        assert out.status == "clean" and out.value == 5
+        assert out.executions == 2
+
+    def test_dmr_disagreement_escalates_to_quorum(self):
+        # execution 0 returns a corrupted value; 1 and 2 agree
+        out = run("dmr", fn=lambda e: 99 if e == 0 else 5)
+        assert out.status == "corrected" and out.value == 5
+        assert out.executions == 3 and out.flagged == 0
+
+    def test_dmr_never_agreeing_is_uncorrectable(self):
+        out = run("dmr", fn=lambda e: e, max_executions=4)
+        assert out.status == "uncorrectable" and out.value is None
+        assert out.executions == 4
+
+    def test_tmr_majority_outvotes_one_corruption(self):
+        out = run("tmr", fn=lambda e: 99 if e == 0 else 5)
+        assert out.status == "corrected" and out.value == 5
+        assert out.executions == 3              # the majority sufficed
+
+    def test_tmr_unanimous_is_clean(self):
+        out = run("tmr", fn=lambda e: 5)
+        assert out.status == "clean" and out.executions == 3
+
+    def test_flag_in_dmr_counts_and_escalates(self):
+        def work(execution: int):
+            if execution == 0:
+                raise GuardMismatch("product")
+            return 11
+
+        out = run("dmr", fn=work)
+        assert out.status == "corrected" and out.value == 11
+        assert out.flagged == 1
+        assert out.executions == 3              # 2 initial + 1 makeup
+
+
+# -- policy -----------------------------------------------------------------
+
+
+class TestPolicy:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            GuardPolicy(mode="qmr")
+
+    def test_budget_below_mode_minimum(self):
+        with pytest.raises(ValueError):
+            GuardPolicy(mode="tmr", max_executions=2)
+
+    def test_quorum_validation(self):
+        with pytest.raises(ValueError):
+            GuardPolicy(quorum=0)
+
+    def test_min_executions_ladder(self):
+        assert GuardPolicy(mode="residue").min_executions == 1
+        assert GuardPolicy(mode="dmr").min_executions == 2
+        assert GuardPolicy(mode="tmr").min_executions == 3
+
+
+# -- outcome / telemetry ----------------------------------------------------
+
+
+class TestOutcome:
+    def test_to_record_shape(self):
+        out = GuardedOutcome("clean", 1, executions=1)
+        assert out.to_record() == {"status": "clean", "executions": 1,
+                                   "flagged": 0, "records": []}
+
+    def test_telemetry_counters(self):
+        with collecting() as t:
+            run(fn=flag_below(0))               # clean
+            run(fn=flag_below(1))               # corrected
+            run(fn=flag_below(99), max_executions=2)  # uncorrectable
+        c = t.snapshot().counters
+        assert c["guard.exec.clean"] == 1
+        assert c["guard.exec.corrected"] == 1
+        assert c["guard.exec.uncorrectable"] == 1
+        assert c["guard.escalations"] == 2
+        assert c["guard.reexecutions"] == 2     # one makeup each
+
+
+# -- the pool path ----------------------------------------------------------
+
+
+def pool_ok(execution: int):
+    return ("pool", execution >= 0)
+
+
+def pool_flag(execution: int):
+    raise GuardMismatch("window", "in the worker")
+
+
+class TestPoolPath:
+    def test_clean_value_roundtrips_from_worker(self):
+        policy = GuardPolicy(workers=2, timeout_s=30.0)
+        out = GuardedExecutor(policy).run(pool_ok)
+        assert out.status == "clean"
+        assert out.value == ("pool", True)
+        assert out.executions == 1
+
+    def test_worker_flag_is_classified_flagged(self):
+        policy = GuardPolicy(workers=2, max_executions=2, timeout_s=30.0)
+        out = GuardedExecutor(policy).run(pool_flag)
+        assert out.status == "uncorrectable"
+        assert out.flagged == 2
+        assert all(r["flagged"] for r in out.records)

@@ -174,7 +174,63 @@ def test_max_attempts_validation():
 def test_summary_shape():
     s = ResilientRun().summary()
     assert set(s) == {"items", "ok", "failed", "retries", "timeouts",
-                      "worker_deaths", "pool_respawns", "serial_fallback"}
+                      "worker_deaths", "drained", "pool_respawns",
+                      "serial_fallback"}
+
+
+# -- graceful drain ---------------------------------------------------------
+
+def slow_then_fail(x, attempt):
+    # every attempt burns wall clock then fails, so with a generous
+    # retry budget the run can only end by draining
+    time.sleep(0.05)
+    raise RuntimeError(f"still-failing #{x}")
+
+
+def test_drain_surfaces_retrying_items_as_structured_errors():
+    run = run_resilient(
+        slow_then_fail, ["a", "b", "c"], workers=1,
+        retry=RetryPolicy(max_attempts=50, backoff_base_s=0.01,
+                          backoff_cap_s=0.02, jitter=0.0),
+        deadline_s=0.12)
+    # exactly one record per item -- nothing lost, nothing duplicated
+    assert [r.index for r in run.results] == [0, 1, 2]
+    assert all(not r.ok for r in run.results)
+    kinds = {r.error["kind"] for r in run.results}
+    assert kinds <= {"drained", "exception"} and "drained" in kinds
+    # a drained mid-retry item carries its last underlying failure
+    drained = [r for r in run.results if r.error["kind"] == "drained"]
+    assert any(r.error.get("type") == "RuntimeError" for r in drained)
+    assert run.summary()["drained"] == len(drained)
+    assert any(e["kind"] == "drain" for e in run.events)
+
+
+def test_drain_zero_budget_drains_everything_without_execution():
+    run = run_resilient(square, [1, 2, 3], workers=1, retry=FAST,
+                        deadline_s=0.0)
+    assert all(not r.ok and r.error["kind"] == "drained"
+               for r in run.results)
+    assert all(r.attempts == 0 for r in run.results)
+    assert run.summary()["drained"] == 3
+
+
+def test_drain_in_pool_mode_never_loses_an_item():
+    run = run_resilient(
+        slow_then_fail, list("abcdef"), workers=2,
+        retry=RetryPolicy(max_attempts=50, backoff_base_s=0.01,
+                          backoff_cap_s=0.02, jitter=0.0),
+        deadline_s=0.15)
+    assert sum(1 for r in run.results if r is not None) == 6
+    assert all(not r.ok for r in run.results)
+    assert all(r.error["kind"] in ("drained", "exception")
+               for r in run.results)
+    assert run.summary()["drained"] >= 1
+
+
+def test_no_drain_without_deadline():
+    run = run_resilient(square, [1, 2, 3], workers=1, retry=FAST)
+    assert run.ok
+    assert run.summary()["drained"] == 0
 
 
 # -- cache integrity (the quarantine drill) ---------------------------------

@@ -157,6 +157,38 @@ class TestResponseCodec:
             decode_response({"id": 1, "status": "maybe"})
 
 
+class TestVerifyProtocol:
+    def test_verify_roundtrip(self):
+        req = decode_request(fma_obj(verify="residue"))
+        assert req.verify == "residue"
+        assert encode_request(req)["verify"] == "residue"
+        assert decode_request(encode_request(req)) == req
+
+    def test_verify_defaults_to_off(self):
+        req = decode_request(fma_obj())
+        assert req.verify is None
+        assert "verify" not in encode_request(req)
+
+    @pytest.mark.parametrize("bad", ["paranoid", "", 3, True])
+    def test_invalid_verify_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            decode_request(fma_obj(verify=bad))
+
+    def test_guard_meta_roundtrip(self):
+        resp = Response(4, "ok", result=0x3FF0000000000000,
+                        meta={"guard": "corrected"})
+        wire = encode_response(resp)
+        assert wire["guard"] == "corrected"
+        assert decode_response(wire).meta == {"guard": "corrected"}
+        # uncorrectable batches answer with an error carrying the
+        # classification -- never with data
+        err = Response(5, "error", kind="uncorrectable", message="x",
+                       meta={"guard": "uncorrectable"})
+        wire = encode_response(err)
+        assert wire["guard"] == "uncorrectable"
+        assert "result" not in wire
+
+
 # ---------------------------------------------------------------------------
 # micro-batcher mechanics (fake clock, manual timers)
 
@@ -282,6 +314,20 @@ class TestMicroBatcher:
         with pytest.raises(ValueError):
             make_batcher(loop, [], max_wait_s=-1.0)
 
+    def test_verified_requests_never_coalesce_with_unverified(self):
+        loop, batches = FakeLoop(), []
+        mb = make_batcher(loop, batches, max_batch=2)
+        plain = entry(0)
+        checked = Entry(req=Request(req_id=1, op="fma", fmt="pcs",
+                                    a=0, b=0, c=0, verify="residue"),
+                        fut=None)
+        assert (MicroBatcher.key_for(plain.req)
+                != MicroBatcher.key_for(checked.req))
+        mb.put(plain)
+        mb.put(checked)
+        assert not batches                       # distinct queues
+        assert mb.depths() == {"fma.pcs": 1, "fma.pcs.residue": 1}
+
 
 # ---------------------------------------------------------------------------
 # TCP/JSON-lines frontend
@@ -380,6 +426,66 @@ class TestTcpFrontend:
 
         (reply,) = run(body())
         assert reply["status"] == "ok" and reply["id"] == 0
+
+    def test_oversized_line_gets_error_and_connection_survives(self):
+        """Regression: a request line beyond the stream limit used to
+        raise out of ``readline`` and kill the connection without any
+        response.  It must answer a structured error and keep serving
+        the same connection."""
+        lines = [b"x" * 20000 + b"\n",
+                 (json.dumps(fma_obj(id=7)) + "\n").encode()]
+
+        async def body():
+            cfg = ServeConfig(slow_start=False, tcp_line_limit=4096)
+            async with FmaServer(cfg) as s:
+                return await tcp_session(s, lines, 2)
+
+        first, second = run(body())
+        assert first["status"] == "error"
+        assert first["kind"] == "bad-request"
+        assert second["status"] == "ok" and second["id"] == 7
+
+    def test_unterminated_oversized_line_closes_cleanly(self):
+        """An oversized line that never ends (client gone) must still
+        produce one structured error, then a clean close -- no hang, no
+        silent drop."""
+        async def body():
+            cfg = ServeConfig(slow_start=False, tcp_line_limit=4096)
+            async with FmaServer(cfg) as s:
+                tcp = await s.serve_tcp("127.0.0.1", 0)
+                port = tcp.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port)
+                writer.write(b"y" * 9000)        # no newline, ever
+                await writer.drain()
+                writer.write_eof()
+                reply = json.loads(await asyncio.wait_for(
+                    reader.readline(), timeout=10.0))
+                eof = await asyncio.wait_for(reader.readline(),
+                                             timeout=10.0)
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                return reply, eof
+
+        reply, eof = run(body())
+        assert reply["status"] == "error"
+        assert reply["kind"] == "bad-request"
+        assert eof == b""                        # clean close after
+
+    def test_verify_over_the_wire(self):
+        lines = [(json.dumps(fma_obj(id=11, verify="residue"))
+                  + "\n").encode()]
+
+        async def body():
+            async with FmaServer(ServeConfig(slow_start=False)) as s:
+                return await tcp_session(s, lines, 1)
+
+        (reply,) = run(body())
+        assert reply["status"] == "ok"
+        assert reply["guard"] == "clean"
 
 
 # ---------------------------------------------------------------------------
