@@ -1,0 +1,116 @@
+"""Shared measurement helpers for the benchmark gates.
+
+Every acceptance gate in this directory times with ``perf_counter``
+directly (so ``--benchmark-disable``, the CI smoke mode, cannot skip
+it) and follows the same two disciplines:
+
+* **interleaved best-of-N** -- when comparing two code paths, the
+  rounds alternate (raw, wrapped, raw, wrapped, ...) so clock-frequency
+  drift and scheduler noise cannot land entirely on one side and
+  masquerade as overhead;
+* **bounded retries** -- a loaded machine can jitter single
+  measurements by several percent, far above the effects the overhead
+  gates measure, so a failing ratio gets a few fresh attempts before
+  the gate declares failure.
+
+These helpers used to be copy-pasted across ``test_batch_throughput``,
+``test_telemetry_overhead``, ``test_guard_overhead`` and
+``test_serve_throughput``; this module is the single copy.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+import time
+
+from repro.fp import FPValue, double
+
+#: default interleaved rounds for the overhead gates.
+REPEATS = 7
+
+#: default fresh attempts before an overhead gate declares failure.
+ATTEMPTS = 3
+
+
+def make_vectors(n: int, seed: int = 0, spread: int = 40):
+    """Deterministic operand vectors with a wide exponent spread (the
+    unfriendly case for the kernel's alignment fast paths)."""
+    rng = random.Random(seed)
+    a = [double(rng.choice([-1, 1])
+                * rng.uniform(1.0, 2.0) * 2.0 ** rng.randint(-spread, spread))
+         for _ in range(n)]
+    b = [double(rng.choice([-1, 1])
+                * rng.uniform(1.0, 2.0) * 2.0 ** rng.randint(-spread, spread))
+         for _ in range(n)]
+    return a, b
+
+
+def bits(v: FPValue) -> int:
+    """binary64 bit pattern of a value (via the float round trip)."""
+    return struct.unpack("<Q", struct.pack("<d", v.to_float()))[0]
+
+
+def best_of(fn, repeats: int = 3):
+    """``(best_seconds, last_out)`` of ``fn`` over ``repeats`` runs."""
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def best_timed(fn, repeats: int = 3):
+    """Best attempt of a self-timing callable.
+
+    ``fn`` returns ``(seconds, *rest)`` measured by its own clock (e.g.
+    inside an event loop); the attempt with the smallest ``seconds``
+    wins and its ``rest`` is returned.
+    """
+    best_t = float("inf")
+    best_rest = None
+    for _ in range(repeats):
+        t, *rest = fn()
+        if t < best_t:
+            best_t, best_rest = t, rest
+    return best_t, best_rest
+
+
+def best_of_interleaved(fns, repeats: int = REPEATS):
+    """Best wall time of each callable over ``repeats`` interleaved
+    rounds.  Interleaving (raw, wrapped, raw, wrapped, ...) instead of
+    timing each mode in its own block keeps clock-frequency drift and
+    scheduler noise from landing entirely on one mode and masquerading
+    as overhead."""
+    best = [float("inf")] * len(fns)
+    outs = [None] * len(fns)
+    for _ in range(repeats):
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            outs[i] = fn()
+            best[i] = min(best[i], time.perf_counter() - t0)
+    return best, outs
+
+
+def bounded_overhead_ratio(raw, wrapped, *, max_ratio: float,
+                           repeats: int = REPEATS,
+                           attempts: int = ATTEMPTS, check=None):
+    """``min`` over up to ``attempts`` fresh interleaved best-of-N
+    measurements of ``time(wrapped) / time(raw)``, stopping early once
+    the ratio is below ``max_ratio``.  ``check(out_raw, out_wrapped)``
+    runs after every attempt (bit-identity assertions live there).
+    Returns ``(ratio, t_raw, t_wrapped)`` of the accepted attempt."""
+    ratio = float("inf")
+    t_raw = t_wrapped = float("inf")
+    for _ in range(attempts):
+        (tr, tw), (out_raw, out_wrapped) = best_of_interleaved(
+            [raw, wrapped], repeats)
+        if check is not None:
+            check(out_raw, out_wrapped)
+        if tw / tr < ratio:
+            ratio, t_raw, t_wrapped = tw / tr, tr, tw
+        if ratio < max_ratio:
+            break
+    return ratio, t_raw, t_wrapped

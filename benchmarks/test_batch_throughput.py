@@ -13,37 +13,36 @@ skipped by disabling the benchmark fixture.
 
 from __future__ import annotations
 
-import random
+import json
+import os
 import time
 
 import pytest
 
+from _timing import best_of, make_vectors
 from repro.batch import (accelerate_engine, accumulate_batch, dot_batch,
-                         fma_batch, kernel_for)
+                         fma_batch, kernel_for, vector_available)
 from repro.fma import (CSFmaEngine, FcsFmaUnit, PcsFmaUnit,
                        run_recurrence)
 from repro.fma.accumulator import PcsAccumulator
 from repro.fma.dotprod import FusedDotProductUnit
-from repro.fp import double
 
 N_DOT = 4096
 MIN_SPEEDUP = 5.0
 
+#: the paper-style 10x target for the NumPy lane engine; the enforced
+#: floors below are what single-core NumPy sustains with margin on a
+#: loaded CI box (measured ~4.4-5.3x pcs / ~2.9-3.7x fcs per lane).
+VECTOR_TARGET_SPEEDUP = 10.0
+MIN_VECTOR_SPEEDUP = {"pcs-fma": 3.0, "fcs-fma": 2.0}
+N_VECTOR_LANES = 512
+N_VECTOR_REF_LANES = 8
+
 UNITS = [PcsFmaUnit(), FcsFmaUnit()]
 unit_ids = ["pcs", "fcs"]
 
-
-def make_vectors(n: int, seed: int = 0, spread: int = 40):
-    """Deterministic operand vectors with a wide exponent spread (the
-    unfriendly case for the kernel's alignment fast paths)."""
-    rng = random.Random(seed)
-    a = [double(rng.choice([-1, 1])
-                * rng.uniform(1.0, 2.0) * 2.0 ** rng.randint(-spread, spread))
-         for _ in range(n)]
-    b = [double(rng.choice([-1, 1])
-                * rng.uniform(1.0, 2.0) * 2.0 ** rng.randint(-spread, spread))
-         for _ in range(n)]
-    return a, b
+#: results archived to BENCH_vector.json by the module fixture.
+RESULTS: dict = {}
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -53,6 +52,25 @@ def warm_kernels():
     a, b = make_vectors(256, seed=99)
     for unit in UNITS:
         dot_batch(a, b, unit=unit)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_report():
+    """Archive the vector-lane measurements after the module runs."""
+    yield
+    if not RESULTS:
+        return
+    out = os.environ.get("BENCH_VECTOR_OUT", "BENCH_vector.json")
+    doc = {"schema": "repro.vector.bench/1",
+           "n_lanes": N_VECTOR_LANES,
+           "dot_len": N_DOT,
+           "target_speedup": VECTOR_TARGET_SPEEDUP,
+           "gates": {u: {"min_speedup": g}
+                     for u, g in MIN_VECTOR_SPEEDUP.items()},
+           "units": RESULTS}
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 class TestDotThroughput:
@@ -78,11 +96,7 @@ class TestDotThroughput:
         ref = FusedDotProductUnit(unit).dot(a, b)
         t_scalar = time.perf_counter() - t0
 
-        best = float("inf")
-        for _ in range(3):
-            t0 = time.perf_counter()
-            fast = dot_batch(a, b, unit=unit)
-            best = min(best, time.perf_counter() - t0)
+        best, fast = best_of(lambda: dot_batch(a, b, unit=unit))
 
         assert fast.cls == ref.cls
         assert fast.sign == ref.sign
@@ -96,6 +110,79 @@ class TestDotThroughput:
         assert speedup >= MIN_SPEEDUP, (
             f"{unit.name} dot_batch speedup {speedup:.2f}x below the "
             f"{MIN_SPEEDUP}x gate")
+
+
+class TestVectorDotThroughput:
+    """The tentpole gate: the NumPy lane engine vs the tuple kernel on
+    wide dot batches, bit-identical and materially faster per lane."""
+
+    @pytest.mark.parametrize("unit", UNITS, ids=unit_ids)
+    def test_vector_speedup_gate(self, unit):
+        if not vector_available():     # pragma: no cover - numpy baked in
+            pytest.skip("NumPy vector engine unavailable")
+        import numpy as np
+
+        from repro.batch import vector_kernel_for
+        from repro.fma.convert import cs_to_ieee
+        from repro.serve.protocol import fp_to_word, word_to_fp
+
+        vk = vector_kernel_for(unit)
+        assert vk is not None
+
+        # all-normal word planes: NaN/Inf lanes would defer (and a NaN
+        # short-circuits the tuple chain, understating its cost).
+        rng = np.random.default_rng(11)
+        shape = (N_DOT, N_VECTOR_LANES)
+        words = []
+        for _ in range(2):
+            sign = rng.integers(0, 2, shape, np.uint64) << np.uint64(63)
+            exp = rng.integers(1023 - 40, 1023 + 41, shape, np.uint64)
+            frac = rng.integers(0, 1 << 52, shape, np.uint64)
+            words.append(sign | (exp << np.uint64(52)) | frac)
+        a_words, b_words = words
+
+        vk.dot_many_words(a_words[:8, :8], b_words[:8, :8])   # warm
+        t0 = time.perf_counter()
+        tuples = vk.dot_many_words(a_words, b_words)
+        t_vector = time.perf_counter() - t0
+        vec_ms = t_vector / N_VECTOR_LANES * 1e3
+
+        # tuple-kernel baseline on a reference slice, best-of-2 (each
+        # lane is ~4096 serial FMAs -- self-averaging enough that two
+        # reps bound the noise), extrapolated per lane.
+        ref_fp = [([word_to_fp(int(w)) for w in a_words[:, i]],
+                   [word_to_fp(int(w)) for w in b_words[:, i]])
+                  for i in range(N_VECTOR_REF_LANES)]
+
+        def tuple_ref():
+            return [dot_batch(a, b, unit=unit, backend="tuple")
+                    for a, b in ref_fp]
+
+        t_tuple, ref_out = best_of(tuple_ref, repeats=2)
+        tuple_ms = t_tuple / N_VECTOR_REF_LANES * 1e3
+
+        # bit-identity on the reference lanes
+        lower = vk.kernel.lower
+        for i, ref in enumerate(ref_out):
+            got = fp_to_word(cs_to_ieee(lower(tuples[i])))
+            assert got == fp_to_word(ref), (
+                f"{unit.name} lane {i}: vector {got:#018x} != "
+                f"tuple {fp_to_word(ref):#018x}")
+
+        speedup = tuple_ms / vec_ms
+        gate = MIN_VECTOR_SPEEDUP[unit.name]
+        RESULTS[unit.name] = {
+            "tuple_ms_per_lane": round(tuple_ms, 3),
+            "vector_ms_per_lane": round(vec_ms, 3),
+            "speedup": round(speedup, 2),
+            "min_speedup": gate,
+            "meets_10x_target": speedup >= VECTOR_TARGET_SPEEDUP}
+        print(f"\n{unit.name}: tuple {tuple_ms:.2f} ms/lane, "
+              f"vector {vec_ms:.2f} ms/lane, speedup {speedup:.2f}x "
+              f"(gate {gate}x, target {VECTOR_TARGET_SPEEDUP}x)")
+        assert speedup >= gate, (
+            f"{unit.name} vector dot speedup {speedup:.2f}x below the "
+            f"{gate}x gate")
 
 
 class TestFmaThroughput:

@@ -26,17 +26,21 @@ pinned to them by the differential harness in
 
 from .api import accumulate_batch, dot_batch, fma_batch
 from .cskernel import FastCSKernel, bit_positions, kernel_for
-from .engines import (FastCSFmaEngine, FastDiscreteMulAddEngine,
-                      FastFusedIeeeEngine, accelerate_engine)
+from .engines import (BACKENDS, FastCSFmaEngine, FastDiscreteMulAddEngine,
+                      FastFusedIeeeEngine, accelerate_engine,
+                      resolve_backend, vector_available)
 from .ieee_fast import (as_format_fast, fp_add_fast, fp_fma_fast,
                         fp_mul_fast, round_to_format)
 from .memo import clear_hw_caches, hw_cache_info
 from .trees import clear_tree_cache, tree_depth, tree_fn
+from .vector import VectorCSKernel, clear_vector_cache, vector_kernel_for
 
 __all__ = [
     "fma_batch", "dot_batch", "accumulate_batch",
     "accelerate_engine", "FastCSFmaEngine", "FastDiscreteMulAddEngine",
     "FastFusedIeeeEngine", "FastCSKernel", "kernel_for", "bit_positions",
+    "BACKENDS", "resolve_backend", "vector_available",
+    "VectorCSKernel", "vector_kernel_for", "clear_vector_cache",
     "fp_add_fast", "fp_mul_fast", "fp_fma_fast", "as_format_fast",
     "round_to_format",
     "hw_cache_info", "clear_hw_caches",

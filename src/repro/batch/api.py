@@ -11,17 +11,123 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .. import probes
 from ..fma.accumulator import AccumulatorOverflow, PcsAccumulator
 from ..fma.convert import cs_to_ieee, ieee_to_cs
 from ..fma.csfma import CSFmaUnit, FcsFmaUnit
 from ..fma.formats import CSFloat
 from ..fp.formats import BINARY64
 from ..fp.value import FpClass, FPValue
+from ..guard import residue as _gd
 from ..telemetry import core as _tm
-from .cskernel import bit_positions, kernel_for
+from .cskernel import CS_ZERO, bit_positions, kernel_for
+from .engines import requested_backend, resolve_backend
 from .ieee_fast import fp_mul_fast
 
 __all__ = ["fma_batch", "dot_batch", "accumulate_batch"]
+
+#: below these batch sizes the vector engine's fixed ndarray overhead
+#: loses to the tuple kernel, so ``auto`` dispatch routes the call to
+#: the tuple kernel (counted as a ``small-batch`` fallback).  An
+#: explicit ``backend="vector"`` pin skips the heuristic: the per-fma
+#: lift/lower staging only amortizes across hundreds of lanes, whereas
+#: the dot chain amortizes its staging across the whole vector length.
+VECTOR_MIN_FMA_LANES = 512
+VECTOR_MIN_DOT_LEN = 512
+
+
+def _vector_blocked() -> "str | None":
+    """Reason the vector engine must defer this *call* entirely, or
+    ``None``.  Armed fault probes and the armed residue guard observe
+    scalar datapath signals, so arming semantics are preserved exactly
+    by routing armed work through the tuple kernel."""
+    if probes.ARMED is not None:
+        return "armed-probes"
+    if _gd.ACTIVE is not None:
+        return "armed-guard"
+    return None
+
+
+def _count_fallback(tm, reason: str) -> None:
+    if tm is not None:
+        tm.count("batch.vector.fallback")
+        tm.count(f"batch.vector.fallback.{reason}")
+
+
+def _fp_word(x: FPValue) -> int:
+    """Canonical binary64 bit pattern (specials defer, so only the
+    normal/zero encodings must round-trip exactly)."""
+    if x.is_nan:
+        return 0x7FF8000000000000
+    if x.is_inf:
+        return (x.sign << 63) | 0x7FF0000000000000
+    if x.is_zero:
+        return x.sign << 63
+    return (x.sign << 63) | (x.biased_exponent << 52) | x.fraction
+
+
+def _fma_vector(kernel, unit, a, b, c, tm,
+                pinned: bool = False) -> "list[CSFloat] | None":
+    """All-lanes vector evaluation of ``fma_batch``; ``None`` -> caller
+    falls back to the tuple loop (reason already counted).  ``pinned``
+    (an explicit ``vector`` request) bypasses the batch-size
+    heuristic."""
+    from .vector import np, vector_kernel_for
+
+    reason = _vector_blocked()
+    if reason is None and not pinned and len(a) < VECTOR_MIN_FMA_LANES:
+        reason = "small-batch"
+    vk = vector_kernel_for(unit) if reason is None else None
+    if reason is None and vk is None:
+        reason = "no-kernel"
+    if reason is not None:
+        _count_fallback(tm, reason)
+        return None
+    n = len(a)
+    defer = np.zeros(n, bool)
+    aw = np.zeros(n, np.uint64)
+    bw = np.zeros(n, np.uint64)
+    cw = np.zeros(n, np.uint64)
+    for i in range(n):
+        ai, ci = a[i], c[i]
+        if isinstance(ai, FPValue) and isinstance(ci, FPValue):
+            aw[i] = _fp_word(ai)
+            bw[i] = _fp_word(b[i])
+            cw[i] = _fp_word(ci)
+        else:
+            defer[i] = True     # live CS operands: no word encoding
+    acs, _ab, spec_a = vk.lift_words(aw)
+    _cb, bcs, spec_b = vk.lift_words(bw)
+    ccs, _xb, spec_c = vk.lift_words(cw)
+    n_cs = int(defer.sum())
+    defer |= spec_a | spec_b | spec_c
+    # deferred lanes run scalar below; make their vector lanes trivial
+    # (class ZERO) so the lane engine never sees a special class
+    for cols in (acs, bcs, ccs):
+        cols["cls"] = np.where(defer, CS_ZERO, cols["cls"])
+    tuples = vk.lower_lanes(vk.fma_lanes(acs, bcs, ccs))
+    if tm is not None:
+        n_def = int(defer.sum())
+        tm.count("batch.vector.lanes", n - n_def)
+        if n_def:
+            tm.count("batch.vector.deferred", n_def)
+            if n_cs:
+                tm.count("batch.vector.deferred.cs-operand", n_cs)
+            if n_def - n_cs:
+                tm.count("batch.vector.deferred.special", n_def - n_cs)
+    lower = kernel.lower
+    out = [lower(t) for t in tuples]
+    if defer.any():
+        lift = kernel.lift_cs
+        lift_ieee = kernel.lift_ieee
+        for i in np.flatnonzero(defer):
+            ai, bi, ci = a[i], b[i], c[i]
+            at = lift_ieee(ai) if isinstance(ai, FPValue) else lift(ai)
+            ct = lift_ieee(ci) if isinstance(ci, FPValue) else lift(ci)
+            bt = kernel.lift_b(bi)
+            pos = bit_positions(bt[3]) if bt[0] == 1 else None
+            out[i] = lower(kernel.fma(at, bt, ct, pos))
+    return out
 
 
 def _as_cs(x: "CSFloat | FPValue", unit: CSFmaUnit) -> CSFloat:
@@ -33,17 +139,25 @@ def _as_cs(x: "CSFloat | FPValue", unit: CSFmaUnit) -> CSFloat:
 def fma_batch(a: Sequence["CSFloat | FPValue"], b: Sequence[FPValue],
               c: Sequence["CSFloat | FPValue"],
               unit: CSFmaUnit | None = None, *,
-              use_batch: bool = True) -> list[CSFloat]:
+              use_batch: bool = True,
+              backend: str | None = None) -> list[CSFloat]:
     """Evaluate independent ``a[i] + b[i] * c[i]`` through one CS unit.
 
     ``a``/``c`` accept CS operands or IEEE values (lifted exactly);
     ``b`` stays IEEE as in the hardware.  Bit-identical to calling
-    ``unit.fma`` element by element.
+    ``unit.fma`` element by element.  ``backend`` selects the evaluation
+    machinery (:data:`repro.batch.engines.BACKENDS`; ``None`` honours
+    ``REPRO_BATCH_BACKEND``); ``use_batch=False`` forces ``faithful``.
     """
     if not (len(a) == len(b) == len(c)):
         raise ValueError("operand vector length mismatch")
     unit = unit if unit is not None else FcsFmaUnit()
-    kernel = kernel_for(unit) if use_batch else None
+    if not use_batch:
+        requested = backend = "faithful"
+    else:
+        requested = requested_backend(backend)
+        backend = resolve_backend(requested)
+    kernel = kernel_for(unit) if backend != "faithful" else None
     tm = _tm.ACTIVE
     if tm is not None:
         # call-boundary instrumentation only: per-kernel lane counts,
@@ -55,6 +169,11 @@ def fma_batch(a: Sequence["CSFloat | FPValue"], b: Sequence[FPValue],
     if kernel is None:
         return [unit.fma(_as_cs(ai, unit), bi, _as_cs(ci, unit))
                 for ai, bi, ci in zip(a, b, c)]
+    if backend == "vector":
+        out = _fma_vector(kernel, unit, a, b, c, tm,
+                          pinned=requested == "vector")
+        if out is not None:
+            return out
     lift = kernel.lift_cs
     lift_ieee = kernel.lift_ieee
     out = []
@@ -69,18 +188,27 @@ def fma_batch(a: Sequence["CSFloat | FPValue"], b: Sequence[FPValue],
 
 def dot_batch(a: Sequence[FPValue], b: Sequence[FPValue],
               unit: CSFmaUnit | None = None, *,
-              use_batch: bool = True) -> FPValue:
+              use_batch: bool = True,
+              backend: str | None = None) -> FPValue:
     """Fused inner product ``sum_i a[i] * b[i]``.
 
     Bit-identical to
     :meth:`repro.fma.dotprod.FusedDotProductUnit.dot` on the same unit:
     the accumulator stays in the unit's carry-save operand format and is
-    normalized back to IEEE once at the end.
+    normalized back to IEEE once at the end.  ``backend`` as in
+    :func:`fma_batch`; the vector engine runs the product trees for all
+    steps as one ndarray pass (:meth:`VectorCSKernel.dot_hybrid`) and
+    defers to the tuple kernel while probes/guard are armed.
     """
     if len(a) != len(b):
         raise ValueError("vector length mismatch")
     unit = unit if unit is not None else FcsFmaUnit()
-    kernel = kernel_for(unit) if use_batch else None
+    if not use_batch:
+        requested = backend = "faithful"
+    else:
+        requested = requested_backend(backend)
+        backend = resolve_backend(requested)
+    kernel = kernel_for(unit) if backend != "faithful" else None
     tm = _tm.ACTIVE
     if tm is not None:
         tm.count("batch.dot.calls")
@@ -92,6 +220,25 @@ def dot_batch(a: Sequence[FPValue], b: Sequence[FPValue],
         for ai, bi in zip(a, b):
             acc = unit.fma(acc, ai, ieee_to_cs(bi, unit.params))
         return cs_to_ieee(acc)
+    if backend == "vector":
+        reason = _vector_blocked()
+        if (reason is None and requested != "vector"
+                and len(a) < VECTOR_MIN_DOT_LEN):
+            reason = "small-batch"
+        vk = None
+        if reason is None:
+            from .vector import vector_kernel_for
+
+            vk = vector_kernel_for(unit)
+            if vk is None:
+                reason = "no-kernel"
+        if reason is None:
+            if tm is not None:
+                tm.count("batch.vector.lanes")
+            with _tm.span("batch.dot.kernel"):
+                acc = vk.dot_hybrid(a, b)
+            return cs_to_ieee(kernel.lower(acc))
+        _count_fallback(tm, reason)
     with _tm.span("batch.dot.kernel"):
         acc = kernel.dot_tuple(a, b)
     return cs_to_ieee(kernel.lower(acc))

@@ -194,11 +194,19 @@ class FastCSKernel:
     # -- the datapath ----------------------------------------------------
 
     def fma(self, a: tuple, b: tuple, c: tuple,
-            pos: tuple | None = None) -> tuple:
+            pos: tuple | None = None,
+            prod: "tuple[int, int] | None" = None) -> tuple:
         """``a + b * c``; bit-identical to the scalar unit.
 
         ``pos`` optionally carries the precomputed set-bit positions of
         ``b``'s significand (batch callers hoist it out of inner loops).
+        ``prod`` optionally injects the precomputed *full-window-width*
+        CS product pair ``(S, C)`` of ``cv`` with ``b``'s significand
+        (the vector backend batches the trees across a whole dot chain).
+        Masking commutes upward through a CSA tree, so the full-width
+        pair masked down reproduces the per-modulus trees bit for bit;
+        callers must only pass ``prod`` when probes and the guard are
+        disarmed, since it bypasses their product-plane hooks.
         """
         acls = a[0]
         bcls = b[0]
@@ -268,9 +276,20 @@ class FastCSKernel:
         if p_nonzero:
             p_pos = (e_f - (self.bsig - 1) - frac) - w0
             cv = -c_used if b[1] else c_used
-            if pos is None:
-                pos = bit_positions(b[3])
-            if p_pos >= 0:
+            if prod is not None:
+                S, C = prod
+                if p_pos >= 0:
+                    r0 = (S << p_pos) & wmask
+                    r1 = (C << p_pos) & wmask
+                else:
+                    pv = ((S & self.pmask) + (C & self.pmask)) \
+                        & self.pmask
+                    if pv & self.psign:
+                        pv -= self.psign << 1
+                    r0 = (pv >> (-p_pos)) & wmask
+            elif p_pos >= 0:
+                if pos is None:
+                    pos = bit_positions(b[3])
                 ow = W - p_pos
                 S, C = self.product(cv, pos, ow, (1 << ow) - 1, b[3])
                 r0 = (S << p_pos) & wmask
@@ -279,6 +298,8 @@ class FastCSKernel:
                 # product entirely below the window: collapse and
                 # floor-shift the signed value (the scalar unit's
                 # documented modelling liberty)
+                if pos is None:
+                    pos = bit_positions(b[3])
                 S, C = self.product(cv, pos, self.pw, self.pmask, b[3])
                 pv = (S + C) & self.pmask
                 if pv & self.psign:

@@ -1,0 +1,164 @@
+"""Benchmark aggregation: merge ``BENCH_*.json`` artifacts and gate
+against a committed baseline.
+
+The benchmark gates (``benchmarks/test_*_throughput.py``) each archive
+their measurements to a schema-versioned ``BENCH_<name>.json``.  This
+package folds every such artifact in a directory into one
+``BENCH_summary.json`` and compares the flattened numeric metrics
+against ``benchmarks/BENCH_baseline.json``:
+
+* only metrics **listed in the baseline** are gated -- raw wall times
+  drift with the host, so the baseline pins the ratios (speedups,
+  uplifts, overhead bounds) that the benchmark gates themselves
+  enforce, keeping one source of truth for "how fast is fast enough";
+* a gated metric regresses when it is worse than the baseline value by
+  more than the metric's ``tolerance`` (fractional; default 10%);
+  ``higher_is_better`` selects the direction.
+
+``python -m repro.bench`` exits non-zero when any gated metric
+regressed, so CI can fail the job on the summary alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+__all__ = ["DEFAULT_TOLERANCE", "SUMMARY_SCHEMA", "BASELINE_SCHEMA",
+           "collect_artifacts", "flatten_metrics", "load_baseline",
+           "build_summary"]
+
+SUMMARY_SCHEMA = "repro.bench.summary/1"
+BASELINE_SCHEMA = "repro.bench.baseline/1"
+
+#: fractional slack applied when a baseline entry carries none.
+DEFAULT_TOLERANCE = 0.10
+
+#: artifacts that are outputs of this tool (or its input gate), never
+#: inputs to it.
+_EXCLUDE = {"BENCH_summary.json", "BENCH_baseline.json"}
+
+
+def collect_artifacts(directory: str) -> "dict[str, dict]":
+    """``{prefix: parsed_doc}`` for every ``BENCH_*.json`` in
+    ``directory`` (non-recursive); the prefix is the file stem with the
+    ``BENCH_`` marker stripped (``BENCH_vector.json`` -> ``vector``).
+    Unreadable or non-object artifacts are skipped with a warning entry
+    rather than failing the aggregation."""
+    found: dict[str, dict] = {}
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return found
+    for name in names:
+        if (not name.startswith("BENCH_") or not name.endswith(".json")
+                or name in _EXCLUDE):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            found[name[len("BENCH_"):-len(".json")]] = {
+                "error": f"{type(exc).__name__}: {exc}"}
+            continue
+        if isinstance(doc, dict):
+            found[name[len("BENCH_"):-len(".json")]] = doc
+    return found
+
+
+def flatten_metrics(doc: dict, prefix: str = "") -> "dict[str, float]":
+    """Numeric leaves of ``doc`` as ``{dotted.path: value}``.
+
+    Booleans and strings are not metrics; lists are indexed by
+    position.  The ``schema`` / ``generated_at`` bookkeeping keys are
+    skipped at the top level."""
+    out: dict[str, float] = {}
+    skip = {"schema", "generated_at"} if not prefix else set()
+    items: "list[tuple[str, object]]"
+    if isinstance(doc, dict):
+        items = [(k, v) for k, v in doc.items() if k not in skip]
+    else:
+        items = [(str(i), v) for i, v in enumerate(doc)]
+    for key, value in items:
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[path] = float(value)
+        elif isinstance(value, (dict, list)):
+            out.update(flatten_metrics(value, path))
+    return out
+
+
+def load_baseline(path: str) -> dict:
+    """Parse and validate the committed baseline document."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: expected schema {BASELINE_SCHEMA!r}, "
+                         f"got {doc.get('schema')!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{path}: missing 'metrics' object")
+    for name, spec in metrics.items():
+        if not isinstance(spec, dict) or "value" not in spec:
+            raise ValueError(f"{path}: metric {name!r} needs a 'value'")
+    return doc
+
+
+def _compare(value: float, spec: dict) -> "tuple[float, bool]":
+    """``(delta_pct, regressed)`` of ``value`` against one baseline
+    entry.  ``delta_pct`` is signed so that positive always means
+    *better than baseline*."""
+    base = float(spec["value"])
+    higher = bool(spec.get("higher_is_better", True))
+    tol = float(spec.get("tolerance", DEFAULT_TOLERANCE))
+    if base == 0.0:
+        return 0.0, False
+    rel = (value - base) / abs(base)
+    delta_pct = 100.0 * (rel if higher else -rel)
+    return delta_pct, delta_pct < -100.0 * tol
+
+
+def build_summary(directory: str, baseline_path: "str | None" = None,
+                  ) -> dict:
+    """Aggregate a directory of artifacts into the summary document.
+
+    The summary's ``regressions`` list is empty when every gated metric
+    is within tolerance; missing gated metrics (benchmark not run in
+    this pass) are reported under ``missing`` but do not regress --
+    partial runs are routine locally."""
+    artifacts = collect_artifacts(directory)
+    metrics: dict[str, float] = {}
+    for prefix, doc in artifacts.items():
+        metrics.update(flatten_metrics(doc, prefix))
+
+    summary = {
+        "schema": SUMMARY_SCHEMA,
+        "sources": {p: doc.get("schema", "unknown")
+                    for p, doc in artifacts.items()},
+        "metrics": {k: metrics[k] for k in sorted(metrics)},
+        "deltas": {},
+        "missing": [],
+        "regressions": [],
+    }
+    if baseline_path is None:
+        return summary
+
+    baseline = load_baseline(baseline_path)
+    for name in sorted(baseline["metrics"]):
+        spec = baseline["metrics"][name]
+        if name not in metrics:
+            summary["missing"].append(name)
+            continue
+        delta_pct, regressed = _compare(metrics[name], spec)
+        summary["deltas"][name] = {
+            "value": metrics[name],
+            "baseline": float(spec["value"]),
+            "delta_pct": round(delta_pct, 2),
+            "regressed": regressed,
+        }
+        if regressed:
+            summary["regressions"].append(name)
+    return summary

@@ -1,0 +1,66 @@
+"""CLI for benchmark aggregation: ``python -m repro.bench``.
+
+Merges every ``BENCH_*.json`` in a directory into
+``BENCH_summary.json`` and gates the flattened metrics against the
+committed baseline (see :mod:`repro.bench`).
+
+Exit status: 0 when no gated metric regressed, 1 on regression, 2 on
+bad arguments / unreadable baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import build_summary
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Merge BENCH_*.json benchmark artifacts into a "
+                    "summary and gate against the committed baseline.")
+    ap.add_argument("--dir", default=".",
+                    help="directory holding BENCH_*.json (default: .)")
+    ap.add_argument("--baseline", default="benchmarks/BENCH_baseline.json",
+                    help="baseline document; pass 'none' to skip gating")
+    ap.add_argument("--out", default="BENCH_summary.json",
+                    help="summary output path (default BENCH_summary.json)")
+    return ap
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    baseline = None if args.baseline.lower() == "none" else args.baseline
+    try:
+        summary = build_summary(args.dir, baseline)
+    except (OSError, ValueError) as exc:
+        print(f"repro.bench: {exc}", file=sys.stderr)
+        return 2
+
+    with open(args.out, "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    n = len(summary["metrics"])
+    print(f"repro.bench: {n} metric(s) from "
+          f"{len(summary['sources'])} artifact(s) -> {args.out}")
+    for name, d in summary["deltas"].items():
+        mark = "REGRESSED" if d["regressed"] else "ok"
+        print(f"  {name}: {d['value']:g} vs baseline {d['baseline']:g} "
+              f"({d['delta_pct']:+.1f}%) {mark}")
+    for name in summary["missing"]:
+        print(f"  {name}: not measured in this pass (skipped)")
+    if summary["regressions"]:
+        print(f"repro.bench: {len(summary['regressions'])} gated "
+              f"metric(s) regressed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

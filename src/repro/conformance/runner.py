@@ -413,7 +413,22 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--mutation-check", action="store_true",
                         help="inject every fault and assert detection")
     parser.add_argument("--list-mutations", action="store_true")
+    parser.add_argument("--backend", default=None,
+                        choices=("auto", "vector", "tuple", "faithful"),
+                        help="pin the repro.batch backend for the whole "
+                             "sweep (exported as REPRO_BATCH_BACKEND so "
+                             "shard workers inherit it)")
     args = parser.parse_args(argv)
+
+    if args.backend is not None:
+        # the batch entry points consult this env var whenever a caller
+        # does not pass an explicit backend, so one export covers the
+        # inline path and every pooled shard process alike
+        import os
+
+        from ..batch.engines import BACKEND_ENV
+
+        os.environ[BACKEND_ENV] = args.backend
 
     # semantic argument validation fails with the argparse convention
     # (exit 2 + usage on stderr), distinct from runtime failures (1)

@@ -54,6 +54,11 @@ def build_parser() -> argparse.ArgumentParser:
     ap.add_argument("--no-kernels", action="store_true",
                     help="serve through the faithful scalar models "
                          "instead of the repro.batch kernels")
+    ap.add_argument("--backend", choices=("auto", "vector", "tuple",
+                                          "faithful"), default=None,
+                    help="default batch backend for requests that do "
+                         "not pin one (default: auto, which prefers "
+                         "the NumPy vector engine)")
     ap.add_argument("--self-test", action="store_true",
                     help="run a seeded in-process workload and exit")
     ap.add_argument("--self-test-requests", type=int, default=500)
@@ -71,6 +76,7 @@ def _config(args) -> ServeConfig:
         default_timeout_s=(None if args.default_timeout_ms is None
                            else args.default_timeout_ms / 1000.0),
         use_batch=not args.no_kernels,
+        backend=args.backend,
         isolation=args.isolation,
         exec_timeout_s=args.exec_timeout,
         retry=RetryPolicy(max_attempts=args.retries,

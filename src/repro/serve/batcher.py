@@ -67,10 +67,15 @@ class MicroBatcher:
     @staticmethod
     def key_for(req: Request) -> str:
         # verified requests must not coalesce with unverified ones (the
-        # guard policy is batch-level), so the level is part of the key
-        if req.verify is None:
-            return f"{req.op}.{req.fmt}"
-        return f"{req.op}.{req.fmt}.{req.verify}"
+        # guard policy is batch-level), so the level is part of the key;
+        # likewise a pinned backend is a batch-level execution property,
+        # so backend-pinned requests coalesce only among themselves
+        key = f"{req.op}.{req.fmt}"
+        if req.verify is not None:
+            key = f"{key}.{req.verify}"
+        if req.backend is not None:
+            key = f"{key}.b:{req.backend}"
+        return key
 
     def depth(self, key: str) -> int:
         q = self._queues.get(key)

@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..batch.engines import BACKENDS
 from ..fp.formats import BINARY64
 from ..fp.value import FPValue
 
@@ -129,6 +130,10 @@ class Request:
     still queued when the budget runs out.  ``verify`` opts the request
     into the guarded execution path (:data:`VERIFY_LEVELS`); verified
     requests only coalesce with batchmates at the same level.
+    ``backend`` pins the evaluation machinery for this request
+    (:data:`repro.batch.engines.BACKENDS`; ``None`` uses the server
+    default); requests only coalesce with batchmates on the same
+    backend, since the backend is a batch-level execution property.
     """
 
     req_id: int | str
@@ -139,6 +144,7 @@ class Request:
     c: int | None = None
     timeout_s: float | None = None
     verify: str | None = None
+    backend: str | None = None
 
     def validate(self) -> None:
         if self.op not in OPS:
@@ -164,6 +170,9 @@ class Request:
         if self.verify is not None and self.verify not in VERIFY_LEVELS:
             raise ProtocolError(
                 f"verify must be one of {VERIFY_LEVELS}")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ProtocolError(
+                f"backend must be one of {BACKENDS}")
 
     @property
     def n_elements(self) -> int:
@@ -228,6 +237,9 @@ def decode_request(obj: dict) -> Request:
     verify = obj.get("verify")
     if verify is not None and not isinstance(verify, str):
         raise ProtocolError("verify must be a string")
+    backend = obj.get("backend")
+    if backend is not None and not isinstance(backend, str):
+        raise ProtocolError("backend must be a string")
     c = obj.get("c")
     req = Request(
         req_id=req_id, op=op, fmt=fmt,
@@ -235,7 +247,7 @@ def decode_request(obj: dict) -> Request:
         c=None if c is None else _int_word(
             hex_to_word(c) if isinstance(c, str) else c, "c"),
         timeout_s=None if timeout is None else float(timeout),
-        verify=verify)
+        verify=verify, backend=backend)
     req.validate()
     return req
 
@@ -255,6 +267,8 @@ def encode_request(req: Request) -> dict:
         obj["timeout_s"] = req.timeout_s
     if req.verify is not None:
         obj["verify"] = req.verify
+    if req.backend is not None:
+        obj["backend"] = req.backend
     return obj
 
 

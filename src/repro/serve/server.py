@@ -71,6 +71,7 @@ class ServeConfig:
     min_window: int = 8
     default_timeout_s: float | None = None   # per-request budget
     use_batch: bool = True           # fast kernels vs faithful loop
+    backend: str | None = None       # default batch backend (None=auto)
     isolation: str = "inline"        # "inline" | "process"
     exec_timeout_s: float | None = None      # per-attempt (process mode)
     tcp_line_limit: int = 1 << 20    # max request line on the wire
@@ -82,6 +83,11 @@ class ServeConfig:
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if self.backend is not None:
+            from ..batch.engines import BACKENDS
+            if self.backend not in BACKENDS:
+                raise ValueError(
+                    f"backend must be one of {BACKENDS}")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.tcp_line_limit < 1024:
@@ -254,7 +260,8 @@ class FmaServer:
             payload = payload_from_requests(
                 op, fmt, [e.req for e in live],
                 use_batch=self.config.use_batch,
-                verify=live[0].req.verify)
+                verify=live[0].req.verify,
+                backend=live[0].req.backend or self.config.backend)
             t0 = time.perf_counter_ns()
             records, error, attempts, guard = await loop.run_in_executor(
                 self._pool, self.executor.run, payload)
